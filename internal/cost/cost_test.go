@@ -1,0 +1,68 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinZeroReturnsImmediately(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("Spin(<=0) took %v, want immediate return", d)
+	}
+}
+
+func TestSpinWaitsApproximately(t *testing.T) {
+	const want = 2 * time.Millisecond
+	start := time.Now()
+	Spin(want)
+	got := time.Since(start)
+	if got < want {
+		t.Fatalf("Spin(%v) returned after %v, want at least %v", want, got, want)
+	}
+	if got > 50*want {
+		t.Fatalf("Spin(%v) took %v, far beyond the requested duration", want, got)
+	}
+}
+
+func TestChargeMultiplies(t *testing.T) {
+	const unit = 200 * time.Microsecond
+	start := time.Now()
+	Charge(unit, 10)
+	got := time.Since(start)
+	if got < 10*unit {
+		t.Fatalf("Charge(%v, 10) took %v, want at least %v", unit, got, 10*unit)
+	}
+}
+
+func TestChargeShortCircuits(t *testing.T) {
+	start := time.Now()
+	Charge(0, 1<<30)
+	Charge(time.Hour, 0)
+	Charge(time.Hour, -1)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("Charge with zero operand took %v, want immediate return", d)
+	}
+}
+
+func TestZeroModelIsAllZero(t *testing.T) {
+	if Zero != (Model{}) {
+		t.Fatalf("Zero model has non-zero fields: %+v", Zero)
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	// Sanity of the calibration: signals cost more than syscalls,
+	// syscalls more than faults, faults more than VMA bookkeeping.
+	if !(Default.SignalDelivery > Default.SyscallEntry) {
+		t.Errorf("SignalDelivery (%v) should exceed SyscallEntry (%v)", Default.SignalDelivery, Default.SyscallEntry)
+	}
+	if !(Default.SyscallEntry > Default.PageFault) {
+		t.Errorf("SyscallEntry (%v) should exceed PageFault (%v)", Default.SyscallEntry, Default.PageFault)
+	}
+	if !(Default.PageFault > Default.VMAOp) {
+		t.Errorf("PageFault (%v) should exceed VMAOp (%v)", Default.PageFault, Default.VMAOp)
+	}
+}

@@ -1,0 +1,139 @@
+// Package mmfile implements main-memory files: anonymous, memory-backed
+// files in the spirit of memfd_create, used as the user-space handle on
+// physical memory that rewired snapshotting requires.
+//
+// The RUMA paper (reference [8] of the reproduced paper) reintroduces
+// physical memory to user space by mapping virtual memory to main-memory
+// files: because the file is backed by physical pages, the file offset is
+// a stable name for a physical page, and re-mmapping a virtual page to a
+// different offset "rewires" it. A File here is exactly that: a growable
+// sequence of physical pages addressed by page-aligned offsets.
+package mmfile
+
+import (
+	"fmt"
+	"sync"
+
+	"ankerdb/internal/phys"
+)
+
+// File is a main-memory file: a resizable array of physical pages.
+// It is safe for concurrent use. The file holds one reference on every
+// page it contains; mappings take their own references.
+type File struct {
+	name  string
+	alloc *phys.Allocator
+
+	mu    sync.Mutex
+	pages []*phys.Page
+}
+
+// Create returns an empty main-memory file drawing pages from alloc.
+// The name is only for diagnostics.
+func Create(name string, alloc *phys.Allocator) *File {
+	return &File{name: name, alloc: alloc}
+}
+
+// Name returns the diagnostic name given at creation.
+func (f *File) Name() string { return f.name }
+
+// Allocator returns the physical page pool backing the file.
+func (f *File) Allocator() *phys.Allocator { return f.alloc }
+
+// PageSize returns the page size of the backing allocator in bytes.
+func (f *File) PageSize() int { return f.alloc.PageSize() }
+
+// Len returns the current length of the file in pages.
+func (f *File) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+// Size returns the current length of the file in bytes.
+func (f *File) Size() uint64 {
+	return uint64(f.Len()) * uint64(f.alloc.PageSize())
+}
+
+// Truncate grows or shrinks the file to n pages. Growing materialises
+// zero pages immediately (main-memory files are never sparse here:
+// rewiring uses the file as its pool of physical pages). Shrinking
+// releases the file's reference on the truncated pages.
+func (f *File) Truncate(n int) {
+	if n < 0 {
+		panic("mmfile: negative truncate")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.pages) < n {
+		f.pages = append(f.pages, f.alloc.Alloc())
+	}
+	for len(f.pages) > n {
+		last := f.pages[len(f.pages)-1]
+		f.pages[len(f.pages)-1] = nil
+		f.pages = f.pages[:len(f.pages)-1]
+		f.alloc.Put(last)
+	}
+}
+
+// PageAt returns the page at the page-aligned byte offset off, growing
+// the file if the offset is beyond the current end (writing past EOF
+// extends a memfd the same way).
+func (f *File) PageAt(off uint64) *phys.Page {
+	ps := uint64(f.alloc.PageSize())
+	if off%ps != 0 {
+		panic(fmt.Sprintf("mmfile %q: unaligned offset %#x", f.name, off))
+	}
+	idx := int(off / ps)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.pages) <= idx {
+		f.pages = append(f.pages, f.alloc.Alloc())
+	}
+	return f.pages[idx]
+}
+
+// AppendPage claims a fresh page at the end of the file and returns its
+// byte offset and the page. Rewired snapshotting uses the tail of the
+// file as its pool of unused pages for manual copy-on-write.
+func (f *File) AppendPage() (off uint64, page *phys.Page) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	page = f.alloc.AllocNoZero()
+	off = uint64(len(f.pages)) * uint64(f.alloc.PageSize())
+	f.pages = append(f.pages, page)
+	return off, page
+}
+
+// ReplaceAt swaps the page stored at the page-aligned byte offset off
+// for page, releasing the file's reference on the old page and taking
+// one on the new. It is the file-side half of rewiring a column page to
+// a fresh physical page.
+func (f *File) ReplaceAt(off uint64, page *phys.Page) {
+	ps := uint64(f.alloc.PageSize())
+	if off%ps != 0 {
+		panic(fmt.Sprintf("mmfile %q: unaligned offset %#x", f.name, off))
+	}
+	idx := int(off / ps)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if idx >= len(f.pages) {
+		panic(fmt.Sprintf("mmfile %q: ReplaceAt beyond EOF", f.name))
+	}
+	old := f.pages[idx]
+	f.alloc.Get(page)
+	f.pages[idx] = page
+	f.alloc.Put(old)
+}
+
+// Close releases the file's references on all its pages. Mappings that
+// still reference the pages keep them alive.
+func (f *File) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, p := range f.pages {
+		f.alloc.Put(p)
+		f.pages[i] = nil
+	}
+	f.pages = nil
+}

@@ -1,0 +1,146 @@
+package mmfile
+
+import (
+	"testing"
+
+	"ankerdb/internal/phys"
+)
+
+func newFile(t *testing.T) (*File, *phys.Allocator) {
+	t.Helper()
+	a := phys.NewAllocator(phys.DefaultPageSize)
+	return Create("test", a), a
+}
+
+func TestTruncateGrowAndShrink(t *testing.T) {
+	f, a := newFile(t)
+	f.Truncate(8)
+	if f.Len() != 8 {
+		t.Fatalf("len = %d, want 8", f.Len())
+	}
+	if got, want := f.Size(), uint64(8*phys.DefaultPageSize); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	if live := a.Stats().Live; live != 8 {
+		t.Fatalf("live pages = %d, want 8", live)
+	}
+	f.Truncate(3)
+	if f.Len() != 3 {
+		t.Fatalf("len = %d, want 3", f.Len())
+	}
+	if live := a.Stats().Live; live != 3 {
+		t.Fatalf("live pages = %d after shrink, want 3", live)
+	}
+}
+
+func TestTruncateNegativePanics(t *testing.T) {
+	f, _ := newFile(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative truncate did not panic")
+		}
+	}()
+	f.Truncate(-1)
+}
+
+func TestPageAtGrowsFile(t *testing.T) {
+	f, _ := newFile(t)
+	p := f.PageAt(3 * phys.DefaultPageSize)
+	if p == nil {
+		t.Fatal("nil page")
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4 after PageAt beyond EOF", f.Len())
+	}
+	if q := f.PageAt(3 * phys.DefaultPageSize); q != p {
+		t.Fatal("PageAt is not stable for the same offset")
+	}
+}
+
+func TestPageAtUnalignedPanics(t *testing.T) {
+	f, _ := newFile(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned PageAt did not panic")
+		}
+	}()
+	f.PageAt(123)
+}
+
+func TestAppendPage(t *testing.T) {
+	f, _ := newFile(t)
+	f.Truncate(2)
+	off, page := f.AppendPage()
+	if off != 2*phys.DefaultPageSize {
+		t.Fatalf("append offset = %#x, want %#x", off, 2*phys.DefaultPageSize)
+	}
+	if f.PageAt(off) != page {
+		t.Fatal("appended page not reachable via PageAt")
+	}
+}
+
+func TestReplaceAt(t *testing.T) {
+	f, a := newFile(t)
+	f.Truncate(2)
+	old := f.PageAt(0)
+	old.Words[0] = 1
+
+	np := a.Alloc()
+	np.Words[0] = 2
+	f.ReplaceAt(0, np)
+	if got := f.PageAt(0); got != np {
+		t.Fatal("ReplaceAt did not install the new page")
+	}
+	if f.PageAt(0).Words[0] != 2 {
+		t.Fatal("new page content not visible")
+	}
+	// The file dropped its ref on old; our allocation reference was the
+	// only one on np before ReplaceAt took another.
+	if np.Refs() != 2 {
+		t.Fatalf("new page refs = %d, want 2 (caller + file)", np.Refs())
+	}
+	a.Put(np) // drop caller ref; file keeps it alive
+	if np.Refs() != 1 {
+		t.Fatalf("new page refs = %d, want 1", np.Refs())
+	}
+}
+
+func TestReplaceAtBeyondEOFPanics(t *testing.T) {
+	f, a := newFile(t)
+	f.Truncate(1)
+	np := a.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReplaceAt beyond EOF did not panic")
+		}
+	}()
+	f.ReplaceAt(5*uint64(phys.DefaultPageSize), np)
+}
+
+func TestCloseReleasesPages(t *testing.T) {
+	f, a := newFile(t)
+	f.Truncate(16)
+	f.Close()
+	if live := a.Stats().Live; live != 0 {
+		t.Fatalf("live pages = %d after Close, want 0", live)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("len = %d after Close, want 0", f.Len())
+	}
+}
+
+func TestCloseKeepsExternallyReferencedPages(t *testing.T) {
+	f, a := newFile(t)
+	f.Truncate(1)
+	p := f.PageAt(0)
+	a.Get(p) // a mapping's reference
+	p.Words[0] = 77
+	f.Close()
+	if p.Words[0] != 77 {
+		t.Fatal("page content lost while externally referenced")
+	}
+	if p.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", p.Refs())
+	}
+	a.Put(p)
+}

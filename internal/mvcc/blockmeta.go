@@ -1,0 +1,101 @@
+package mvcc
+
+import "sync/atomic"
+
+// BlockRows is the scan-block granularity of the HyPer optimization the
+// paper applies in Section 5.5: for every 1024 rows, the position of
+// the first and last versioned row is kept, so scans run in tight loops
+// between versioned records without per-row checks.
+const BlockRows = 1024
+
+// BlockMeta tracks, per block, the range of rows that carry version
+// chains in one column generation. Writers update it inside the
+// serialised commit phase; scans read it concurrently.
+type BlockMeta struct {
+	first []atomic.Int32 // lowest versioned row in block, -1 if none
+	last  []atomic.Int32 // highest versioned row in block
+	rows  int
+}
+
+// NewBlockMeta returns metadata for a column of rows rows with no
+// versioned rows.
+func NewBlockMeta(rows int) *BlockMeta {
+	n := (rows + BlockRows - 1) / BlockRows
+	b := &BlockMeta{first: make([]atomic.Int32, n), last: make([]atomic.Int32, n), rows: rows}
+	for i := range b.first {
+		b.first[i].Store(-1)
+		b.last[i].Store(-1)
+	}
+	return b
+}
+
+// Blocks returns the number of blocks.
+func (b *BlockMeta) Blocks() int { return len(b.first) }
+
+// Rows returns the row count the metadata covers.
+func (b *BlockMeta) Rows() int { return b.rows }
+
+// Note records that row now carries a version chain.
+func (b *BlockMeta) Note(row int) {
+	blk := row / BlockRows
+	in := int32(row % BlockRows)
+	for {
+		f := b.first[blk].Load()
+		if f != -1 && f <= in {
+			break
+		}
+		if b.first[blk].CompareAndSwap(f, in) {
+			break
+		}
+	}
+	for {
+		l := b.last[blk].Load()
+		if l >= in {
+			break
+		}
+		if b.last[blk].CompareAndSwap(l, in) {
+			break
+		}
+	}
+}
+
+// Range returns the versioned row span of block blk as absolute row
+// numbers. any is false when the block has no versioned rows, in which
+// case the whole block can be scanned in a tight loop.
+func (b *BlockMeta) Range(blk int) (lo, hi int, any bool) {
+	f := b.first[blk].Load()
+	if f < 0 {
+		return 0, 0, false
+	}
+	l := b.last[blk].Load()
+	return blk*BlockRows + int(f), blk*BlockRows + int(l), true
+}
+
+// BlockSpan returns the absolute row bounds [lo, hi) of block blk,
+// clipped to the row count.
+func (b *BlockMeta) BlockSpan(blk int) (lo, hi int) {
+	lo = blk * BlockRows
+	hi = min(lo+BlockRows, b.rows)
+	return lo, hi
+}
+
+// VersionedBlocks counts blocks with at least one versioned row.
+func (b *BlockMeta) VersionedBlocks() int {
+	n := 0
+	for i := range b.first {
+		if b.first[i].Load() >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy (used when freezing a generation).
+func (b *BlockMeta) Clone() *BlockMeta {
+	c := &BlockMeta{first: make([]atomic.Int32, len(b.first)), last: make([]atomic.Int32, len(b.last)), rows: b.rows}
+	for i := range b.first {
+		c.first[i].Store(b.first[i].Load())
+		c.last[i].Store(b.last[i].Load())
+	}
+	return c
+}

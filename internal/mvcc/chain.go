@@ -1,0 +1,143 @@
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// VersionNode is one entry of a version chain: a value and the commit
+// timestamp of the transaction that wrote it. Chains are ordered
+// newest-to-oldest, the order HyPer uses because it favours young
+// transactions (Section 2.1).
+type VersionNode struct {
+	Val  int64
+	WTS  uint64
+	Next *VersionNode
+}
+
+const chainShards = 64
+
+type chainShard struct {
+	mu sync.RWMutex
+	m  map[int]*VersionNode
+}
+
+// ChainStore holds the version chains of one column generation, sharded
+// by row for concurrent access. Pushes happen only inside the
+// serialised commit phase; reads are concurrent.
+type ChainStore struct {
+	shards [chainShards]chainShard
+	nodes  atomic.Int64
+}
+
+// NewChainStore returns an empty chain store.
+func NewChainStore() *ChainStore {
+	c := &ChainStore{}
+	for i := range c.shards {
+		c.shards[i].m = map[int]*VersionNode{}
+	}
+	return c
+}
+
+func (c *ChainStore) shard(row int) *chainShard {
+	return &c.shards[uint(row)%chainShards]
+}
+
+// Push prepends the version (val, wts) to row's chain. wts is the
+// commit timestamp of the transaction that *wrote* val (the value being
+// displaced from the column), so a reader at timestamp ts must use the
+// first node with WTS <= ts.
+func (c *ChainStore) Push(row int, val int64, wts uint64) {
+	s := c.shard(row)
+	s.mu.Lock()
+	s.m[row] = &VersionNode{Val: val, WTS: wts, Next: s.m[row]}
+	s.mu.Unlock()
+	c.nodes.Add(1)
+}
+
+// Head returns the newest version node of row, or nil.
+func (c *ChainStore) Head(row int) *VersionNode {
+	s := c.shard(row)
+	s.mu.RLock()
+	n := s.m[row]
+	s.mu.RUnlock()
+	return n
+}
+
+// VisibleAt walks row's chain and returns the newest version with
+// WTS <= ts. ok is false when the chain holds no such version (the
+// reader must continue in an older generation).
+func (c *ChainStore) VisibleAt(row int, ts uint64) (val int64, ok bool) {
+	for n := c.Head(row); n != nil; n = n.Next {
+		if n.WTS <= ts {
+			return n.Val, true
+		}
+	}
+	return 0, false
+}
+
+// ChainLen returns the length of row's chain.
+func (c *ChainStore) ChainLen(row int) int {
+	n := 0
+	for v := c.Head(row); v != nil; v = v.Next {
+		n++
+	}
+	return n
+}
+
+// Nodes returns the total number of version nodes in the store.
+func (c *ChainStore) Nodes() int64 { return c.nodes.Load() }
+
+// Rows returns the number of rows that currently have a chain.
+func (c *ChainStore) Rows() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Prune is the explicit garbage collection used by homogeneous
+// processing (the paper's cleanup thread, Section 5.1 config 1): every
+// version that no transaction at or above minTS can see is removed.
+// inPlaceWTS reports the write timestamp of the current in-place value
+// of a row; if it is <= minTS the whole chain is unreachable. Otherwise
+// the first node with WTS <= minTS is kept (it is visible to a reader
+// exactly at minTS) and everything older is cut.
+//
+// It returns the number of version nodes removed.
+func (c *ChainStore) Prune(minTS uint64, inPlaceWTS func(row int) uint64) int64 {
+	var removed int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for row, head := range s.m {
+			if inPlaceWTS(row) <= minTS {
+				removed += int64(chainLen(head))
+				delete(s.m, row)
+				continue
+			}
+			for n := head; n != nil; n = n.Next {
+				if n.WTS <= minTS {
+					removed += int64(chainLen(n.Next))
+					n.Next = nil
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.nodes.Add(-removed)
+	return removed
+}
+
+func chainLen(n *VersionNode) int {
+	l := 0
+	for ; n != nil; n = n.Next {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,34 @@
+// Package mvcc provides the multi-version concurrency control building
+// blocks of AnKerDB: the timestamp oracle, per-row version chains
+// (newest-to-oldest, with the current version stored in place in the
+// column), block-granular version metadata for the HyPer-style scan
+// optimization, transaction-local state, and the precision-locking
+// validation that upgrades snapshot isolation to full serializability.
+package mvcc
+
+import "sync/atomic"
+
+// Oracle issues transaction timestamps. Begin timestamps equal the last
+// *completed* commit timestamp: a commit's writes become visible to new
+// transactions only after its materialization finished, which makes
+// multi-write commits atomically visible (the paper logs the start and
+// end of the commit phase for the same purpose, Section 2.2.1 step 3).
+type Oracle struct {
+	next      atomic.Uint64 // last assigned commit timestamp
+	completed atomic.Uint64 // last commit whose materialization finished
+}
+
+// Begin returns a begin timestamp: the most recent completed commit.
+func (o *Oracle) Begin() uint64 { return o.completed.Load() }
+
+// NextCommitTS assigns the next commit timestamp. Callers serialise
+// commit processing (the engine's commit mutex), so timestamps complete
+// in assignment order.
+func (o *Oracle) NextCommitTS() uint64 { return o.next.Add(1) }
+
+// Complete publishes ts as the newest completed commit. Must be called
+// in commit-timestamp order (guaranteed by the commit mutex).
+func (o *Oracle) Complete(ts uint64) { o.completed.Store(ts) }
+
+// Completed returns the newest completed commit timestamp.
+func (o *Oracle) Completed() uint64 { return o.completed.Load() }

@@ -1,0 +1,80 @@
+package mvcc
+
+import "sync"
+
+// CommitRecord is the write set of a committed transaction, kept for
+// the validation of transactions that overlapped it in time.
+type CommitRecord struct {
+	TS     uint64
+	Writes []WriteEntry
+}
+
+// RecentList is the mutex-protected list of recently committed
+// transactions the paper describes in Section 5.7: commit-phase
+// validation walks it, which is why serializable commit processing is
+// partially sequential and scaling is sub-linear (Figure 11).
+type RecentList struct {
+	mu   sync.Mutex
+	recs []CommitRecord
+}
+
+// NewRecentList returns an empty list.
+func NewRecentList() *RecentList { return &RecentList{} }
+
+// Add appends a committed transaction's record. Records arrive in
+// commit-timestamp order (the commit mutex serialises commits).
+func (r *RecentList) Add(rec CommitRecord) {
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// Validate checks the transaction's read set against every commit with
+// TS in (t.Begin, now]: if any such write intersects a point read or a
+// predicate range of t, the transaction read stale data and must abort
+// (precision locking, Section 2.1). It returns the timestamp of the
+// first conflicting commit, or 0 when the transaction is valid.
+func (r *RecentList) Validate(t *TxnState) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Records are TS-ordered; binary search for the first after Begin.
+	lo, hi := 0, len(r.recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.recs[mid].TS <= t.Begin {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, rec := range r.recs[lo:] {
+		for _, e := range rec.Writes {
+			if t.conflictsWith(e) {
+				return rec.TS
+			}
+		}
+	}
+	return 0
+}
+
+// PruneBelow drops records no running transaction can conflict with
+// (TS <= minBegin). It returns the number of records removed.
+func (r *RecentList) PruneBelow(minBegin uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cut := 0
+	for cut < len(r.recs) && r.recs[cut].TS <= minBegin {
+		cut++
+	}
+	if cut > 0 {
+		r.recs = append([]CommitRecord(nil), r.recs[cut:]...)
+	}
+	return cut
+}
+
+// Len returns the number of retained records.
+func (r *RecentList) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}

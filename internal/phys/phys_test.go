@@ -1,0 +1,211 @@
+package phys
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllocatorValidation(t *testing.T) {
+	for _, bad := range []int{0, -4096, 3000, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAllocator(%d) did not panic", bad)
+				}
+			}()
+			NewAllocator(bad)
+		}()
+	}
+	a := NewAllocator(4096)
+	if a.PageSize() != 4096 || a.WordsPerPage() != 512 {
+		t.Fatalf("got pageSize=%d words=%d", a.PageSize(), a.WordsPerPage())
+	}
+}
+
+func TestAllocZeroFills(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	if len(p.Words) != a.WordsPerPage() {
+		t.Fatalf("page has %d words, want %d", len(p.Words), a.WordsPerPage())
+	}
+	for i, w := range p.Words {
+		if w != 0 {
+			t.Fatalf("word %d = %d, want 0", i, w)
+		}
+	}
+	if p.Refs() != 1 {
+		t.Fatalf("fresh page refs = %d, want 1", p.Refs())
+	}
+}
+
+func TestRecycledPageIsZeroed(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	for i := range p.Words {
+		p.Words[i] = 0xdeadbeef
+	}
+	a.Put(p)
+	q := a.Alloc()
+	if q != p {
+		t.Fatalf("expected page to be recycled")
+	}
+	for i, w := range q.Words {
+		if w != 0 {
+			t.Fatalf("recycled word %d = %#x, want 0", i, w)
+		}
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	a.Get(p)
+	a.Get(p)
+	if p.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", p.Refs())
+	}
+	a.Put(p)
+	a.Put(p)
+	if s := a.Stats(); s.Live != 1 {
+		t.Fatalf("live = %d, want 1 while one ref held", s.Live)
+	}
+	a.Put(p)
+	if s := a.Stats(); s.Live != 0 || s.Frees != 1 {
+		t.Fatalf("after final put: live=%d frees=%d, want 0/1", s.Live, s.Frees)
+	}
+}
+
+func TestPutBelowZeroPanics(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	a.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	a.Put(p)
+}
+
+func TestGetOnFreePagePanics(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	a.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on freed page did not panic")
+		}
+	}()
+	a.Get(p)
+}
+
+func TestZeroPageSurvivesPut(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	z := a.ZeroPage()
+	a.Get(z)
+	a.Put(z)
+	if z.Refs() < 1 {
+		t.Fatalf("zero page refs = %d, want >= 1", z.Refs())
+	}
+	// Putting the mapping ref must never recycle the zero page.
+	a.Get(z)
+	a.Put(z)
+	p := a.Alloc()
+	if p == z {
+		t.Fatal("allocator recycled the zero page")
+	}
+}
+
+func TestAllocNoZeroKeepsGarbage(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	p.Words[7] = 42
+	a.Put(p)
+	q := a.AllocNoZero()
+	if q != p {
+		t.Fatal("expected recycled page")
+	}
+	if q.Words[7] != 42 {
+		t.Fatalf("AllocNoZero zeroed the page (word=%d)", q.Words[7])
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p1 := a.Alloc()
+	p2 := a.Alloc()
+	a.Put(p1)
+	_ = a.Alloc() // recycles p1
+	s := a.Stats()
+	if s.Allocs != 3 || s.Recycled != 1 || s.Frees != 1 || s.Live != 2 {
+		t.Fatalf("stats = %+v, want allocs=3 recycled=1 frees=1 live=2", s)
+	}
+	_ = p2
+}
+
+func TestConcurrentAllocPut(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]*Page, 0, 64)
+			for i := 0; i < 500; i++ {
+				local = append(local, a.Alloc())
+				if len(local) > 32 {
+					a.Put(local[0])
+					local = local[1:]
+				}
+			}
+			for _, p := range local {
+				a.Put(p)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := a.Stats(); s.Live != 0 {
+		t.Fatalf("live = %d after all puts, want 0", s.Live)
+	}
+}
+
+func TestConcurrentRefCounting(t *testing.T) {
+	a := NewAllocator(DefaultPageSize)
+	p := a.Alloc()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Get(p)
+				a.Put(p)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", p.Refs())
+	}
+}
+
+func TestPropertyLiveNeverNegative(t *testing.T) {
+	// Property: any interleaving of alloc/put keeps Live == #outstanding.
+	f := func(ops []bool) bool {
+		a := NewAllocator(DefaultPageSize)
+		var held []*Page
+		for _, alloc := range ops {
+			if alloc || len(held) == 0 {
+				held = append(held, a.Alloc())
+			} else {
+				a.Put(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+		}
+		return a.Stats().Live == int64(len(held))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package storage
+
+import "sync"
+
+// Dict is an order-indifferent string dictionary: VARCHAR columns store
+// dictionary codes as their column words. It is append-only and safe
+// for concurrent use; reads take the fast path of an RWMutex.
+type Dict struct {
+	mu   sync.RWMutex
+	vals []string
+	idx  map[string]int64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{idx: map[string]int64{}}
+}
+
+// Encode returns the code for s, assigning the next code if s is new.
+func (d *Dict) Encode(s string) int64 {
+	d.mu.RLock()
+	c, ok := d.idx[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c = int64(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.idx[s] = c
+	return c
+}
+
+// Lookup returns the code for s without assigning one.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.idx[s]
+	return c, ok
+}
+
+// Decode returns the string for code. It panics on unknown codes,
+// which indicate storage corruption.
+func (d *Dict) Decode(code int64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals[code]
+}
+
+// Len returns the number of distinct strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
+}
+
+// Strings returns a copy of all dictionary strings, indexed by code.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.vals...)
+}

@@ -1,0 +1,75 @@
+package storage
+
+import "fmt"
+
+// Type is the logical type of a column. Every type is physically a
+// 64-bit word; the Type governs encoding and rendering.
+type Type uint8
+
+// Column types. Money values are fixed-point cents, Date values are
+// days since 1970-01-01, Varchar values are dictionary codes.
+const (
+	Int64 Type = iota
+	Money
+	Date
+	Varchar
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "INT64"
+	case Money:
+		return "MONEY"
+	case Date:
+		return "DATE"
+	case Varchar:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ColumnDef declares one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema declares a table layout.
+type Schema struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural sanity.
+func (s Schema) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("storage: schema without table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("storage: table %q has no columns", s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("storage: table %q has an unnamed column", s.Table)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("storage: table %q: duplicate column %q", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ankerdb/internal/cost"
+	"ankerdb/internal/vmem"
+)
+
+func newProc() *vmem.Process {
+	return vmem.NewProcess(vmem.WithCostModel(cost.Zero))
+}
+
+func TestWordArrayRoundTrip(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Free()
+	if w.Rows() != 1000 {
+		t.Fatalf("rows = %d", w.Rows())
+	}
+	for i := 0; i < 1000; i++ {
+		w.Set(i, int64(i)-500)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := w.Get(i); got != int64(i)-500 {
+			t.Fatalf("row %d = %d, want %d", i, got, int64(i)-500)
+		}
+	}
+}
+
+func TestWordArrayZeroInitialised(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i += 7 {
+		if got := w.Get(i); got != 0 {
+			t.Fatalf("row %d = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestWordArrayPreFaultsAllPages(t *testing.T) {
+	p := newProc()
+	st0 := p.Stats()
+	w, err := NewWordArray(p, 4096) // 8 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumPTEs(); got < 8 {
+		t.Fatalf("PTEs after NewWordArray = %d, want >= 8 (pre-faulted)", got)
+	}
+	_ = st0
+	_ = w
+}
+
+func TestWordArrayRejectsBadRows(t *testing.T) {
+	p := newProc()
+	if _, err := NewWordArray(p, 0); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if _, err := NewWordArray(p, -5); err == nil {
+		t.Fatal("rows<0 accepted")
+	}
+}
+
+func TestWordArrayFill(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i * i)
+	}
+	w.Fill(vals)
+	for i := range vals {
+		if got := w.Get(i); got != vals[i] {
+			t.Fatalf("row %d = %d, want %d", i, got, vals[i])
+		}
+	}
+}
+
+func TestViewWordArray(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Set(42, 777)
+	v := ViewWordArray(p, w.Addr(), 100)
+	if got := v.Get(42); got != 777 {
+		t.Fatalf("view row 42 = %d, want 777", got)
+	}
+	if v.SizeBytes() != w.SizeBytes() {
+		t.Fatalf("view size %d != %d", v.SizeBytes(), w.SizeBytes())
+	}
+}
+
+func TestPageCache(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		w.Set(i, int64(3*i))
+	}
+	pc := w.Resolve()
+	if pc.Rows() != 2000 {
+		t.Fatalf("cache rows = %d", pc.Rows())
+	}
+	for i := 0; i < 2000; i++ {
+		if got := pc.Get(i); got != int64(3*i) {
+			t.Fatalf("cache row %d = %d, want %d", i, got, 3*i)
+		}
+	}
+	words, base := pc.Page(600)
+	if base > 600 || base+len(words) <= 600 {
+		t.Fatalf("Page(600) base=%d len=%d does not cover row", base, len(words))
+	}
+	if int64(words[600-base]) != 1800 {
+		t.Fatalf("page word = %d, want 1800", words[600-base])
+	}
+}
+
+func TestPageCacheSeesCommittedWritesToLiveArray(t *testing.T) {
+	// In homogeneous mode the cur generation is scanned through a
+	// cache while writers update it in place; the cache must observe
+	// those in-place writes (pages are never COW-replaced without
+	// snapshots).
+	p := newProc()
+	w, err := NewWordArray(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := w.Resolve()
+	w.Set(5, 123)
+	if got := pc.Get(5); got != 123 {
+		t.Fatalf("cache missed in-place write: %d", got)
+	}
+}
+
+func TestWordArraySignedAndUnsigned(t *testing.T) {
+	p := newProc()
+	w, err := NewWordArray(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Set(0, -1)
+	if got := w.GetU(0); got != ^uint64(0) {
+		t.Fatalf("unsigned view of -1 = %#x", got)
+	}
+	w.SetU(1, 1<<63)
+	if got := w.Get(1); got != -(1 << 62 << 1) {
+		t.Fatalf("signed view = %d", got)
+	}
+}
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("apple")
+	b := d.Encode("banana")
+	if a == b {
+		t.Fatal("distinct strings share a code")
+	}
+	if got := d.Encode("apple"); got != a {
+		t.Fatalf("re-encode changed code: %d vs %d", got, a)
+	}
+	if d.Decode(a) != "apple" || d.Decode(b) != "banana" {
+		t.Fatal("decode mismatch")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if c, ok := d.Lookup("banana"); !ok || c != b {
+		t.Fatalf("lookup = %d,%v", c, ok)
+	}
+	if _, ok := d.Lookup("cherry"); ok {
+		t.Fatal("lookup invented a code")
+	}
+	got := d.Strings()
+	if len(got) != 2 || got[a] != "apple" || got[b] != "banana" {
+		t.Fatalf("strings = %v", got)
+	}
+}
+
+func TestDictConcurrentEncode(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	codes := make([][]int64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			codes[g] = make([]int64, len(words))
+			for i, w := range words {
+				codes[g][i] = d.Encode(w)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != len(words) {
+		t.Fatalf("len = %d, want %d", d.Len(), len(words))
+	}
+	for g := 1; g < 8; g++ {
+		for i := range words {
+			if codes[g][i] != codes[0][i] {
+				t.Fatalf("goroutine %d got different code for %q", g, words[i])
+			}
+		}
+	}
+}
+
+func TestPropertyDictBijective(t *testing.T) {
+	f := func(strs []string) bool {
+		d := NewDict()
+		for _, s := range strs {
+			c := d.Encode(s)
+			if d.Decode(c) != s {
+				return false
+			}
+		}
+		return d.Len() <= len(strs) || len(strs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	ok := Schema{Table: "t", Columns: []ColumnDef{{"a", Int64}, {"b", Varchar}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	bad := []Schema{
+		{Table: "", Columns: []ColumnDef{{"a", Int64}}},
+		{Table: "t"},
+		{Table: "t", Columns: []ColumnDef{{"", Int64}}},
+		{Table: "t", Columns: []ColumnDef{{"a", Int64}, {"a", Date}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+	if ok.ColumnIndex("b") != 1 || ok.ColumnIndex("zzz") != -1 {
+		t.Fatal("ColumnIndex misbehaves")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{Int64: "INT64", Money: "MONEY", Date: "DATE", Varchar: "VARCHAR", Type(99): "Type(99)"}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package storage provides the column-oriented storage layer of
+// AnKerDB: fixed-width 64-bit word columns hosted in the simulated
+// virtual memory subsystem (so they can be virtually snapshotted),
+// string dictionaries, and table/schema plumbing.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ankerdb/internal/phys"
+	"ankerdb/internal/vmem"
+)
+
+// WordArray is a fixed-size array of 64-bit words living in simulated
+// virtual memory. Columns and per-row write-timestamp arrays are
+// WordArrays, which is what makes both snapshottable with vm_snapshot.
+type WordArray struct {
+	proc *vmem.Process
+	addr uint64
+	rows int
+	size uint64 // mapped bytes, page aligned
+}
+
+// NewWordArray maps a fresh zero-filled array of rows words. All pages
+// are pre-faulted writable, as a bulk-loaded column would be, so
+// snapshot costs measured later include every PTE.
+func NewWordArray(proc *vmem.Process, rows int) (WordArray, error) {
+	if rows <= 0 {
+		return WordArray{}, fmt.Errorf("storage: non-positive row count %d", rows)
+	}
+	ps := proc.PageSize()
+	size := (uint64(rows)*phys.WordSize + ps - 1) / ps * ps
+	addr, err := proc.Mmap(size, vmem.ProtRead|vmem.ProtWrite, vmem.MapPrivate|vmem.MapAnonymous, nil, 0)
+	if err != nil {
+		return WordArray{}, err
+	}
+	for off := uint64(0); off < size; off += ps {
+		proc.Store(addr+off, 0)
+	}
+	return WordArray{proc: proc, addr: addr, rows: rows, size: size}, nil
+}
+
+// ViewWordArray wraps an existing mapping (e.g. a snapshot created by
+// vm_snapshot) as a WordArray of rows words.
+func ViewWordArray(proc *vmem.Process, addr uint64, rows int) WordArray {
+	ps := proc.PageSize()
+	size := (uint64(rows)*phys.WordSize + ps - 1) / ps * ps
+	return WordArray{proc: proc, addr: addr, rows: rows, size: size}
+}
+
+// Proc returns the owning address space.
+func (w WordArray) Proc() *vmem.Process { return w.proc }
+
+// Addr returns the start address of the mapping.
+func (w WordArray) Addr() uint64 { return w.addr }
+
+// Rows returns the number of words.
+func (w WordArray) Rows() int { return w.rows }
+
+// SizeBytes returns the page-aligned mapped size.
+func (w WordArray) SizeBytes() uint64 { return w.size }
+
+// Get loads the word at row (atomic, torn-free).
+func (w WordArray) Get(row int) int64 {
+	return int64(w.proc.Load(w.addr + uint64(row)*phys.WordSize))
+}
+
+// Set stores the word at row (atomic, torn-free; copy-on-write breaks
+// are handled by the fault path if the page is snapshot-shared).
+func (w WordArray) Set(row int, v int64) {
+	w.proc.Store(w.addr+uint64(row)*phys.WordSize, uint64(v))
+}
+
+// GetU / SetU are the unsigned variants used for timestamps.
+func (w WordArray) GetU(row int) uint64 {
+	return w.proc.Load(w.addr + uint64(row)*phys.WordSize)
+}
+
+// SetU stores an unsigned word at row.
+func (w WordArray) SetU(row int, v uint64) {
+	w.proc.Store(w.addr+uint64(row)*phys.WordSize, v)
+}
+
+// Fill bulk-stores vals starting at row 0.
+func (w WordArray) Fill(vals []int64) {
+	buf := make([]uint64, len(vals))
+	for i, v := range vals {
+		buf[i] = uint64(v)
+	}
+	w.proc.WriteWords(w.addr, buf)
+}
+
+// Free unmaps the array.
+func (w WordArray) Free() {
+	_ = w.proc.Munmap(w.addr, w.size)
+}
+
+// Resolve builds a PageCache for lock-free reads. The mapping must stay
+// frozen (no writes through it, no unmap) while the cache is used —
+// exactly the property of snapshot generations and of never-snapshotted
+// columns in homogeneous mode.
+func (w WordArray) Resolve() *PageCache {
+	n := int(w.size / w.proc.PageSize())
+	pc := &PageCache{
+		pages: w.proc.ResolvePages(w.addr, n),
+		shift: wordShift(int(w.proc.PageWords())),
+		mask:  int(w.proc.PageWords()) - 1,
+		rows:  w.rows,
+	}
+	return pc
+}
+
+func wordShift(wordsPerPage int) uint {
+	s := uint(0)
+	for 1<<s < wordsPerPage {
+		s++
+	}
+	return s
+}
+
+// PageCache is a resolved translation of a frozen WordArray: direct
+// physical page pointers, read without taking the address-space lock.
+// This is the "scan the column in a tight loop" representation the
+// paper's OLAP component relies on.
+type PageCache struct {
+	pages []*phys.Page
+	shift uint
+	mask  int
+	rows  int
+}
+
+// Rows returns the number of words addressable through the cache.
+func (pc *PageCache) Rows() int { return pc.rows }
+
+// Get loads the word at row.
+func (pc *PageCache) Get(row int) int64 {
+	return int64(atomic.LoadUint64(&pc.pages[row>>pc.shift].Words[row&pc.mask]))
+}
+
+// GetU loads the unsigned word at row.
+func (pc *PageCache) GetU(row int) uint64 {
+	return atomic.LoadUint64(&pc.pages[row>>pc.shift].Words[row&pc.mask])
+}
+
+// Page returns the words of the page containing row and the row index
+// of the page's first word. Scan kernels iterate page-wise to avoid
+// per-row indirection.
+func (pc *PageCache) Page(row int) (words []uint64, base int) {
+	p := row >> pc.shift
+	return pc.pages[p].Words, p << pc.shift
+}

@@ -1,0 +1,130 @@
+package vmem
+
+// The page table is a two-level structure, as on real hardware: a
+// directory maps the upper bits of a virtual page number to a slab of
+// 512 PTEs indexed by the lower bits. Fork and vm_snapshot copy PTEs
+// slab-wise, which is the bulk work whose cost the paper contrasts with
+// per-VMA mmap calls.
+
+const (
+	slabBits = 9
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+)
+
+type pteFlags uint8
+
+const (
+	ptePresent pteFlags = 1 << 0
+	pteWriteOK pteFlags = 1 << 1 // hardware-writable
+	pteCOW     pteFlags = 1 << 2 // private page shared; copy on write
+)
+
+type pte struct {
+	page  *pageRef
+	flags pteFlags
+}
+
+// pageRef aliases phys.Page via embedding-free indirection; defined in
+// access.go as = phys.Page to keep this file focused on structure.
+
+type pteSlab struct {
+	live int
+	e    [slabSize]pte
+}
+
+func (p *Process) vpn(addr uint64) uint64 { return addr / p.pageSize }
+
+// pteLookup returns the PTE for vpn if its slab exists; the PTE may be
+// non-present. The caller must hold p.mu (read for inspection, write
+// for mutation).
+func (p *Process) pteLookup(vpn uint64) *pte {
+	s := p.pt[vpn>>slabBits]
+	if s == nil {
+		return nil
+	}
+	return &s.e[vpn&slabMask]
+}
+
+// pteEnsure returns the PTE slot for vpn, creating the slab on demand.
+// The caller must hold p.mu for writing.
+func (p *Process) pteEnsure(vpn uint64) (*pteSlab, *pte) {
+	key := vpn >> slabBits
+	s := p.pt[key]
+	if s == nil {
+		s = &pteSlab{}
+		p.pt[key] = s
+	}
+	return s, &s.e[vpn&slabMask]
+}
+
+// setPTE installs a present mapping for vpn. Installing over a present
+// PTE would leak a page reference, so callers must clear first; this is
+// asserted. The caller must hold p.mu for writing.
+func (p *Process) setPTE(vpn uint64, page *pageRef, flags pteFlags) {
+	s, e := p.pteEnsure(vpn)
+	if e.flags&ptePresent != 0 {
+		panic("vmem: setPTE over a present entry")
+	}
+	s.live++
+	e.page = page
+	e.flags = flags | ptePresent
+}
+
+// dropPTEs clears all present PTEs in [start, end), releasing the page
+// references they hold. The caller must hold p.mu for writing.
+func (p *Process) dropPTEs(start, end uint64) {
+	first, last := p.vpn(start), p.vpn(end+p.pageSize-1)
+	for key := first >> slabBits; key <= (last-1)>>slabBits; key++ {
+		s := p.pt[key]
+		if s == nil {
+			continue
+		}
+		base := key << slabBits
+		lo, hi := uint64(0), uint64(slabSize)
+		if first > base {
+			lo = first - base
+		}
+		if last < base+slabSize {
+			hi = last - base
+		}
+		for i := lo; i < hi; i++ {
+			e := &s.e[i]
+			if e.flags&ptePresent != 0 {
+				p.alloc.Put(e.page)
+				*e = pte{}
+				s.live--
+			}
+		}
+		if s.live == 0 {
+			delete(p.pt, key)
+		}
+	}
+}
+
+// forEachPTE visits every present PTE whose virtual page lies in
+// [start, end), in no particular order across slabs. fn may mutate the
+// PTE in place. The caller must hold p.mu appropriately.
+func (p *Process) forEachPTE(start, end uint64, fn func(vpn uint64, e *pte)) {
+	first, last := p.vpn(start), p.vpn(end+p.pageSize-1)
+	for key := first >> slabBits; key <= (last-1)>>slabBits; key++ {
+		s := p.pt[key]
+		if s == nil {
+			continue
+		}
+		base := key << slabBits
+		lo, hi := uint64(0), uint64(slabSize)
+		if first > base {
+			lo = first - base
+		}
+		if last < base+slabSize {
+			hi = last - base
+		}
+		for i := lo; i < hi; i++ {
+			e := &s.e[i]
+			if e.flags&ptePresent != 0 {
+				fn(base+i, e)
+			}
+		}
+	}
+}
