@@ -1,0 +1,254 @@
+// Command ankerbench drives the public ankerdb facade end-to-end to
+// reproduce the paper's strategy comparison:
+//
+//   - "create": snapshot creation latency per strategy as the number of
+//     touched columns grows (Table 1 / Figure 5a). Fine-granular
+//     strategies pay per column; fork pays for the whole process image
+//     on every touched column.
+//   - "write": write-after-snapshot cost (Figure 5b): kernel COW
+//     (fork/vmsnap) versus manual user-space COW (rewiring) versus
+//     nothing to do (physical).
+//   - "mixed": concurrent OLTP writers against OLAP scanners, the
+//     workload of Section 5, reporting throughput, aborts, snapshot
+//     staleness and COW traffic.
+//
+// All benchmarks go exclusively through the public API, so the numbers
+// include the full commit pipeline and snapshot lifecycle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ankerdb"
+)
+
+var (
+	flagBench      = flag.String("bench", "create,write,mixed", "comma-separated benchmarks to run: create, write, mixed")
+	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
+	flagRows       = flag.Int("rows", 1<<16, "rows per column")
+	flagCols       = flag.Int("cols", 8, "columns per table")
+	flagWrites     = flag.Int("writes", 4096, "rows written after the snapshot (write benchmark)")
+	flagWriters    = flag.Int("writers", 4, "concurrent OLTP writers (mixed benchmark)")
+	flagScanners   = flag.Int("scanners", 2, "concurrent OLAP scanners (mixed benchmark)")
+	flagRefresh    = flag.Int("refresh", 16, "snapshot refresh interval in commits (mixed benchmark)")
+	flagDur        = flag.Duration("dur", 2*time.Second, "duration per strategy (mixed benchmark)")
+	flagZeroCost   = flag.Bool("zerocost", false, "disable the simulated kernel cost model")
+)
+
+func main() {
+	flag.Parse()
+	var strats []ankerdb.SnapshotStrategy
+	for _, s := range strings.Split(*flagStrategies, ",") {
+		strats = append(strats, ankerdb.SnapshotStrategy(strings.TrimSpace(s)))
+	}
+	benches := map[string]bool{}
+	for _, b := range strings.Split(*flagBench, ",") {
+		benches[strings.TrimSpace(b)] = true
+	}
+	if benches["create"] {
+		benchCreate(strats)
+	}
+	if benches["write"] {
+		benchWrite(strats)
+	}
+	if benches["mixed"] {
+		benchMixed(strats)
+	}
+}
+
+func costModel() ankerdb.CostModel {
+	if *flagZeroCost {
+		return ankerdb.ZeroCost
+	}
+	return ankerdb.DefaultCost
+}
+
+// openLoaded opens a DB with one table of cols columns, bulk-loaded.
+func openLoaded(strat ankerdb.SnapshotStrategy, extra ...ankerdb.Option) *ankerdb.DB {
+	schema := ankerdb.Schema{Table: "bench"}
+	for c := 0; c < *flagCols; c++ {
+		schema.Columns = append(schema.Columns,
+			ankerdb.ColumnDef{Name: fmt.Sprintf("c%d", c), Type: ankerdb.Int64})
+	}
+	db, err := ankerdb.Open(append([]ankerdb.Option{
+		ankerdb.WithSnapshotStrategy(strat),
+		ankerdb.WithCostModel(costModel()),
+		ankerdb.WithInitialSchema(schema, *flagRows),
+	}, extra...)...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ankerbench: open %s: %v\n", strat, err)
+		os.Exit(1)
+	}
+	vals := make([]int64, *flagRows)
+	for i := range vals {
+		vals[i] = int64(i % 1000)
+	}
+	for c := 0; c < *flagCols; c++ {
+		if err := db.Load("bench", fmt.Sprintf("c%d", c), vals); err != nil {
+			fmt.Fprintf(os.Stderr, "ankerbench: load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return db
+}
+
+func colName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// benchCreate measures snapshot creation latency versus the number of
+// columns an OLAP transaction touches (Table 1 / Figure 5a).
+func benchCreate(strats []ankerdb.SnapshotStrategy) {
+	fmt.Printf("== snapshot creation latency (rows/column=%d, cols=%d) ==\n", *flagRows, *flagCols)
+	fmt.Printf("%-10s", "strategy")
+	for touch := 1; touch <= *flagCols; touch *= 2 {
+		fmt.Printf("  %10s", fmt.Sprintf("%d col(s)", touch))
+	}
+	fmt.Printf("  %8s\n", "VMAs")
+	for _, strat := range strats {
+		db := openLoaded(strat)
+		fmt.Printf("%-10s", strat)
+		for touch := 1; touch <= *flagCols; touch *= 2 {
+			before := db.Stats()
+			r, err := db.Begin(ankerdb.OLAP)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nankerbench: %v\n", err)
+				os.Exit(1)
+			}
+			for c := 0; c < touch; c++ {
+				if _, err := r.Get("bench", colName(c), 0); err != nil {
+					fmt.Fprintf(os.Stderr, "\nankerbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			after := db.Stats()
+			r.Commit()
+			// Rotate the generation so the next round snapshots afresh.
+			w, _ := db.Begin(ankerdb.OLTP)
+			w.Set("bench", "c0", 0, 1)
+			w.Commit()
+			fmt.Printf("  %10v", after.SnapshotCreateTime-before.SnapshotCreateTime)
+		}
+		st := db.Stats()
+		fmt.Printf("  %8d\n", st.NumVMAs)
+		db.Close()
+	}
+	fmt.Println()
+}
+
+// benchWrite measures the cost absorbed by writes landing after a
+// snapshot: kernel COW page copies versus the manual user-space COW
+// path of rewiring (Figure 5b).
+func benchWrite(strats []ankerdb.SnapshotStrategy) {
+	fmt.Printf("== write-after-snapshot cost (%d writes across %d rows) ==\n", *flagWrites, *flagRows)
+	fmt.Printf("%-10s  %12s  %10s  %10s  %12s\n",
+		"strategy", "commit time", "COW breaks", "sig hooks", "words copied")
+	for _, strat := range strats {
+		db := openLoaded(strat)
+		// Pin a snapshot of every column so each write is a first write
+		// against a COW-shared or write-protected page.
+		r, _ := db.Begin(ankerdb.OLAP)
+		for c := 0; c < *flagCols; c++ {
+			r.Get("bench", colName(c), 0)
+		}
+		before := db.Stats()
+		start := time.Now()
+		stride := *flagRows / *flagWrites
+		if stride == 0 {
+			stride = 1
+		}
+		w, _ := db.Begin(ankerdb.OLTP)
+		for i := 0; i < *flagWrites; i++ {
+			w.Set("bench", "c0", (i*stride)%*flagRows, int64(i))
+		}
+		if err := w.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "ankerbench: commit: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		after := db.Stats()
+		r.Commit()
+		fmt.Printf("%-10s  %12v  %10d  %10d  %12d\n", strat, elapsed,
+			after.VM.COWBreaks-before.VM.COWBreaks,
+			after.VM.SignalHooks-before.VM.SignalHooks,
+			after.VM.WordsCopied-before.VM.WordsCopied)
+		db.Close()
+	}
+	fmt.Println()
+}
+
+// benchMixed runs the paper's mixed workload: OLTP writers commit
+// random writes while OLAP scanners aggregate snapshotted columns.
+func benchMixed(strats []ankerdb.SnapshotStrategy) {
+	fmt.Printf("== mixed workload (%d writers, %d scanners, refresh every %d commits, %v) ==\n",
+		*flagWriters, *flagScanners, *flagRefresh, *flagDur)
+	fmt.Printf("%-10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
+		"strategy", "commits/s", "scans/s", "aborts", "snapshots", "staleness", "COW breaks")
+	for _, strat := range strats {
+		db := openLoaded(strat, ankerdb.WithSnapshotRefresh(*flagRefresh))
+		var stop atomic.Bool
+		var commits, scans, aborts, staleness, staleSamples atomic.Uint64
+		var wg sync.WaitGroup
+		for i := 0; i < *flagWriters; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(seed))
+				for !stop.Load() {
+					w, err := db.Begin(ankerdb.OLTP)
+					if err != nil {
+						return
+					}
+					col := colName(rnd.Intn(*flagCols))
+					for k := 0; k < 8; k++ {
+						w.Set("bench", col, rnd.Intn(*flagRows), rnd.Int63n(1000))
+					}
+					if w.Commit() == nil {
+						commits.Add(1)
+					} else {
+						aborts.Add(1)
+					}
+				}
+			}(int64(i) + 1)
+		}
+		for i := 0; i < *flagScanners; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(-seed))
+				for !stop.Load() {
+					r, err := db.Begin(ankerdb.OLAP)
+					if err != nil {
+						return
+					}
+					staleness.Add(r.Staleness())
+					staleSamples.Add(1)
+					if _, err := r.Aggregate("bench", colName(rnd.Intn(*flagCols)), ankerdb.Sum); err != nil {
+						r.Abort()
+						return
+					}
+					r.Commit()
+					scans.Add(1)
+				}
+			}(int64(i) + 1)
+		}
+		time.Sleep(*flagDur)
+		stop.Store(true)
+		wg.Wait()
+		st := db.Stats()
+		secs := flagDur.Seconds()
+		avgStale := float64(0)
+		if n := staleSamples.Load(); n > 0 {
+			avgStale = float64(staleness.Load()) / float64(n)
+		}
+		fmt.Printf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
+			float64(commits.Load())/secs, float64(scans.Load())/secs,
+			aborts.Load(), st.SnapshotsCreated, avgStale, st.VM.COWBreaks)
+		db.Close()
+	}
+}

@@ -1,0 +1,359 @@
+package ankerdb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/snapshot"
+	"ankerdb/internal/storage"
+	"ankerdb/internal/vmem"
+)
+
+// vacuumEvery is how many commits pass between automatic version-chain
+// garbage collections run inside the commit path. RecentList pruning is
+// cheap and runs far more often (every recentPruneEvery commits).
+const (
+	vacuumEvery      = 4096
+	recentPruneEvery = 64
+)
+
+// DB is the engine facade: one simulated process hosting columnar
+// tables, an MVCC commit pipeline for OLTP transactions, and a snapshot
+// lifecycle manager serving OLAP transactions through the configured
+// snapshot strategy. All methods are safe for concurrent use.
+type DB struct {
+	proc  *vmem.Process
+	strat snapshot.Strategy
+	alloc storage.ColumnAlloc
+
+	oracle *mvcc.Oracle
+	activ  *mvcc.ActiveSet
+	recent *mvcc.RecentList
+	snaps  *snapManager
+
+	// commitMu serialises commit processing (the paper's partially
+	// sequential commit phase, Section 5.7) and snapshot creation, so
+	// snapshots always capture a transaction-consistent state.
+	commitMu sync.Mutex
+
+	mu      sync.RWMutex
+	tables  map[string]*table
+	tabList []*table
+	closed  bool
+
+	txnIDs atomic.Uint64
+	st     dbCounters
+}
+
+type dbCounters struct {
+	commits      atomic.Uint64
+	emptyCommits atomic.Uint64
+	aborts       atomic.Uint64
+	conflicts    atomic.Uint64
+	oltpBegun    atomic.Uint64
+	olapBegun    atomic.Uint64
+	vacuums      atomic.Uint64
+	versionsGCed atomic.Int64
+}
+
+// table pairs the storage-layer arrays with the per-column MVCC state
+// the commit pipeline and snapshot readers share.
+type table struct {
+	idx  int
+	st   *storage.Table
+	cols []*column
+}
+
+// column is one table column: its data and write-timestamp arrays plus
+// the version chains and block metadata of displaced versions.
+type column struct {
+	id    mvcc.ColumnID
+	def   ColumnDef
+	tab   *storage.Table
+	data  storage.WordArray
+	wts   storage.WordArray
+	chain *mvcc.ChainStore
+	meta  *mvcc.BlockMeta
+	dict  *storage.Dict
+}
+
+// regions returns the snapshot regions covering the column: data first,
+// write timestamps second. Both must be snapshotted together so OLAP
+// readers can tell which snapshot rows predate their timestamp.
+func (c *column) regions() []snapshot.Region {
+	d, w := c.tab.ColumnRegions(c.id.Col)
+	return []snapshot.Region{
+		{Addr: d.Addr, Len: d.Len},
+		{Addr: w.Addr, Len: w.Len},
+	}
+}
+
+// Open creates an empty in-memory database configured by opts.
+func Open(opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	proc := vmem.NewProcess(vmem.WithPageSize(cfg.pageSize), vmem.WithCostModel(cfg.cost))
+	strat, err := snapshot.New(string(cfg.strategy), proc)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		proc:   proc,
+		strat:  strat,
+		alloc:  columnAlloc(proc, strat),
+		oracle: &mvcc.Oracle{},
+		activ:  mvcc.NewActiveSet(),
+		recent: mvcc.NewRecentList(),
+		tables: map[string]*table{},
+	}
+	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
+	db.oracle.SetCompleteHook(db.snaps.noteCommit)
+	for _, s := range cfg.schemas {
+		if err := db.CreateTable(s.schema, s.rows); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// columnAlloc picks how column arrays are backed: strategies that
+// require special source regions (rewiring needs shared main-memory
+// file mappings) allocate through the strategy, everything else through
+// private anonymous memory. Either way pages are pre-faulted, as a
+// bulk-loaded column's would be.
+func columnAlloc(proc *vmem.Process, strat snapshot.Strategy) storage.ColumnAlloc {
+	ra, ok := strat.(snapshot.RegionAllocator)
+	if !ok {
+		return storage.DefaultColumnAlloc(proc)
+	}
+	return func(name string, rows int) (storage.WordArray, error) {
+		reg, _, err := ra.NewRegion(name, storage.ColumnBytes(proc, rows))
+		if err != nil {
+			return storage.WordArray{}, err
+		}
+		w := storage.ViewWordArray(proc, reg.Addr, rows)
+		w.PreFault()
+		return w, nil
+	}
+}
+
+// CreateTable allocates a table with the given schema and fixed row
+// capacity. All pages are mapped and pre-faulted immediately.
+func (db *DB) CreateTable(schema Schema, rows int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, dup := db.tables[schema.Table]; dup {
+		return fmt.Errorf("%w: %q", ErrTableExists, schema.Table)
+	}
+	st, err := storage.NewTable(schema, rows, db.alloc)
+	if err != nil {
+		return err
+	}
+	t := &table{idx: len(db.tabList), st: st}
+	for i, def := range schema.Columns {
+		t.cols = append(t.cols, &column{
+			id:    mvcc.ColumnID{Table: t.idx, Col: i},
+			def:   def,
+			tab:   st,
+			data:  st.Data(i),
+			wts:   st.WTS(i),
+			chain: mvcc.NewChainStore(),
+			meta:  mvcc.NewBlockMeta(rows),
+			dict:  st.Dict(),
+		})
+	}
+	db.tables[schema.Table] = t
+	db.tabList = append(db.tabList, t)
+	return nil
+}
+
+// Begin starts a transaction of the given class. OLTP transactions read
+// at the newest completed commit and may write; OLAP transactions pin
+// the current snapshot generation and are read-only.
+func (db *DB) Begin(class TxnClass) (*Txn, error) {
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	id := db.txnIDs.Add(1)
+	switch class {
+	case OLAP:
+		db.st.olapBegun.Add(1)
+		return &Txn{db: db, id: id, class: OLAP, gen: db.snaps.acquire()}, nil
+	default:
+		db.st.oltpBegun.Add(1)
+		// Sample-register-verify: GC computes its floor from the active
+		// set, so the begin timestamp must be registered before any
+		// commit can complete past it. If one did complete between the
+		// sample and the registration, re-sample.
+		var begin uint64
+		for {
+			begin = db.oracle.Begin()
+			db.activ.Register(id, begin)
+			if db.oracle.Begin() == begin {
+				break
+			}
+			db.activ.Unregister(id)
+		}
+		return &Txn{db: db, id: id, class: OLTP, state: mvcc.NewTxnState(id, begin, mvcc.OLTP)}, nil
+	}
+}
+
+// lookup resolves a (table, column) name pair.
+func (db *DB) lookup(tab, col string) (*column, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[tab]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tab)
+	}
+	i := t.st.Schema().ColumnIndex(col)
+	if i < 0 {
+		return nil, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tab, col)
+	}
+	return t.cols[i], nil
+}
+
+// columnByID resolves a ColumnID back to its column.
+func (db *DB) columnByID(id mvcc.ColumnID) *column {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tabList[id.Table].cols[id.Col]
+}
+
+// Load bulk-loads vals into a column starting at row 0, outside any
+// transaction: write timestamps stay zero, so the values behave as the
+// state at time zero. It must not run concurrently with transactions;
+// it exists so benchmarks can populate large columns without paying the
+// versioning machinery.
+func (db *DB) Load(tab, col string, vals []int64) error {
+	c, err := db.lookup(tab, col)
+	if err != nil {
+		return err
+	}
+	if len(vals) > c.data.Rows() {
+		return fmt.Errorf("%w: %d values into %d rows", ErrRowRange, len(vals), c.data.Rows())
+	}
+	c.data.Fill(vals)
+	return nil
+}
+
+// LoadStrings bulk-loads a VARCHAR column, encoding through the table
+// dictionary. Same caveats as Load.
+func (db *DB) LoadStrings(tab, col string, vals []string) error {
+	c, err := db.lookup(tab, col)
+	if err != nil {
+		return err
+	}
+	if c.def.Type != Varchar {
+		return fmt.Errorf("%w: %s is %s, want VARCHAR", ErrType, col, c.def.Type)
+	}
+	codes := make([]int64, len(vals))
+	for i, s := range vals {
+		codes[i] = c.dict.Encode(s)
+	}
+	return db.Load(tab, col, codes)
+}
+
+// commit runs the serialised commit phase for t's staged writes:
+// precision-locking validation against recently committed transactions,
+// then in-place materialisation with displaced versions pushed onto the
+// column version chains (write timestamp strictly before data, which
+// the lock-free read protocol in column.valueAt relies on).
+func (db *DB) commit(t *mvcc.TxnState) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+
+	if conflictTS := db.recent.Validate(t); conflictTS != 0 {
+		db.st.conflicts.Add(1)
+		return fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
+	}
+	ts := db.oracle.NextCommitTS()
+	writes := make([]mvcc.WriteEntry, 0, t.NumWrites())
+	t.EachWrite(func(id mvcc.ColumnID, row int, val int64) {
+		c := db.columnByID(id)
+		old := c.data.Get(row)
+		oldWTS := c.wts.GetU(row)
+		c.chain.Push(row, old, oldWTS)
+		c.meta.Note(row)
+		c.wts.SetU(row, ts)
+		c.data.Set(row, val)
+		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
+	})
+	db.recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes})
+	db.oracle.Complete(ts)
+	n := db.st.commits.Add(1)
+
+	if n%recentPruneEvery == 0 {
+		db.recent.PruneBelow(db.gcFloor())
+	}
+	if n%vacuumEvery == 0 {
+		db.vacuumChains()
+	}
+	return nil
+}
+
+// gcFloor returns the oldest timestamp any state reader may still need:
+// the minimum over running OLTP begin timestamps and pinned snapshot
+// generation timestamps.
+func (db *DB) gcFloor() uint64 {
+	floor := db.activ.MinBegin(db.oracle.Completed())
+	if s := db.snaps.minTS(floor); s < floor {
+		floor = s
+	}
+	return floor
+}
+
+// vacuumChains garbage-collects version chains below the GC floor.
+func (db *DB) vacuumChains() int64 {
+	floor := db.gcFloor()
+	var removed int64
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
+		for _, c := range t.cols {
+			removed += c.chain.Prune(floor, func(row int) uint64 { return c.wts.GetU(row) })
+		}
+	}
+	db.st.vacuums.Add(1)
+	db.st.versionsGCed.Add(removed)
+	return removed
+}
+
+// Vacuum garbage-collects recently-committed records and version
+// chains that no running transaction or pinned snapshot can still see,
+// returning the number of version nodes removed. It also runs
+// automatically every few thousand commits. It serialises with commit
+// processing: pruning between a commit's chain push and its timestamp
+// store could reap a version a concurrent reader still needs.
+func (db *DB) Vacuum() int64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.recent.PruneBelow(db.gcFloor())
+	return db.vacuumChains()
+}
+
+// Close releases the manager's pin on the current snapshot generation
+// and marks the database closed. Transactions still running keep their
+// pinned snapshots alive until they finish.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.mu.Unlock()
+	db.snaps.close()
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package ankerdb is the public engine facade of the AnKerDB
+// reproduction: a hybrid OLTP/OLAP main-memory column store that
+// accelerates analytical processing in MVCC with fine-granular,
+// high-frequency virtual snapshotting (SIGMOD 2018).
+//
+// The facade composes the internal layers into one runnable system:
+//
+//   - internal/phys + internal/vmem: a simulated virtual memory
+//     subsystem (VMAs, page tables, COW, fork, vm_snapshot)
+//   - internal/storage: columnar tables hosted in that virtual memory
+//   - internal/snapshot: the four snapshot strategies the paper
+//     compares (physical, fork, rewired, vmsnap)
+//   - internal/mvcc: version chains, precision-locking validation and
+//     the timestamp oracle
+//
+// Short modifying OLTP transactions stage writes locally, validate
+// against recently committed writers at commit (precision locking, so
+// snapshot isolation is upgraded to serializability), and materialize
+// in place while pushing displaced versions onto version chains. Long
+// read-only OLAP transactions never traverse version chains on the hot
+// path: they scan virtual snapshots of exactly the columns they touch,
+// taken through the configured snapshot strategy and refreshed every n
+// commits. Rows the snapshot caught mid-flight (written after the
+// snapshot's timestamp) are repaired from the version chains.
+//
+// A minimal session:
+//
+//	db, _ := ankerdb.Open(
+//		ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+//		ankerdb.WithSnapshotRefresh(16),
+//	)
+//	defer db.Close()
+//	db.CreateTable(ankerdb.Schema{
+//		Table:   "orders",
+//		Columns: []ankerdb.ColumnDef{{Name: "qty", Type: ankerdb.Int64}},
+//	}, 1<<16)
+//
+//	w, _ := db.Begin(ankerdb.OLTP)
+//	w.Set("orders", "qty", 42, 7)
+//	w.Commit()
+//
+//	r, _ := db.Begin(ankerdb.OLAP)
+//	sum, _ := r.Aggregate("orders", "qty", ankerdb.Sum)
+//	r.Commit()
+package ankerdb

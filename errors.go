@@ -1,0 +1,38 @@
+package ankerdb
+
+import "errors"
+
+// Errors returned by the engine facade.
+var (
+	// ErrClosed is returned by operations on a closed DB.
+	ErrClosed = errors.New("ankerdb: database is closed")
+
+	// ErrTxnDone is returned by operations on a committed or aborted
+	// transaction.
+	ErrTxnDone = errors.New("ankerdb: transaction already finished")
+
+	// ErrReadOnly is returned when an OLAP transaction attempts a write.
+	ErrReadOnly = errors.New("ankerdb: OLAP transactions are read-only")
+
+	// ErrConflict is returned by Commit when precision-locking
+	// validation found that a concurrent commit invalidated one of the
+	// transaction's reads; the transaction has been aborted.
+	ErrConflict = errors.New("ankerdb: serialization conflict")
+
+	// ErrNoSuchTable is returned for unknown table names.
+	ErrNoSuchTable = errors.New("ankerdb: no such table")
+
+	// ErrNoSuchColumn is returned for unknown column names.
+	ErrNoSuchColumn = errors.New("ankerdb: no such column")
+
+	// ErrRowRange is returned for row indexes outside a table's fixed
+	// capacity.
+	ErrRowRange = errors.New("ankerdb: row index out of range")
+
+	// ErrTableExists is returned by CreateTable for duplicate names.
+	ErrTableExists = errors.New("ankerdb: table already exists")
+
+	// ErrType is returned when a string accessor is used on a
+	// non-VARCHAR column.
+	ErrType = errors.New("ankerdb: column type mismatch")
+)

@@ -1,0 +1,3 @@
+module ankerdb
+
+go 1.22

@@ -55,7 +55,10 @@ func (c *ChainStore) Push(row int, val int64, wts uint64) {
 	c.nodes.Add(1)
 }
 
-// Head returns the newest version node of row, or nil.
+// Head returns the newest version node of row, or nil. Walking from the
+// returned node is only safe while garbage collection (Prune) is
+// quiescent; concurrent readers should use VisibleAt, which walks under
+// the shard lock.
 func (c *ChainStore) Head(row int) *VersionNode {
 	s := c.shard(row)
 	s.mu.RLock()
@@ -66,9 +69,13 @@ func (c *ChainStore) Head(row int) *VersionNode {
 
 // VisibleAt walks row's chain and returns the newest version with
 // WTS <= ts. ok is false when the chain holds no such version (the
-// reader must continue in an older generation).
+// reader must continue in an older generation). The walk holds the
+// shard read lock so it is safe against concurrent Prune.
 func (c *ChainStore) VisibleAt(row int, ts uint64) (val int64, ok bool) {
-	for n := c.Head(row); n != nil; n = n.Next {
+	s := c.shard(row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n := s.m[row]; n != nil; n = n.Next {
 		if n.WTS <= ts {
 			return n.Val, true
 		}
@@ -78,11 +85,10 @@ func (c *ChainStore) VisibleAt(row int, ts uint64) (val int64, ok bool) {
 
 // ChainLen returns the length of row's chain.
 func (c *ChainStore) ChainLen(row int) int {
-	n := 0
-	for v := c.Head(row); v != nil; v = v.Next {
-		n++
-	}
-	return n
+	s := c.shard(row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return chainLen(s.m[row])
 }
 
 // Nodes returns the total number of version nodes in the store.

@@ -290,11 +290,11 @@ func TestTxnConflictDetection(t *testing.T) {
 		e    WriteEntry
 		want bool
 	}{
-		{WriteEntry{Col: colA, Row: 7, Old: 1, New: 2}, true},    // point read hit
-		{WriteEntry{Col: colA, Row: 8, Old: 1, New: 2}, false},   // other row
-		{WriteEntry{Col: colB, Row: 1, Old: 150, New: 5}, true},  // old in range
-		{WriteEntry{Col: colB, Row: 1, Old: 5, New: 150}, true},  // new in range
-		{WriteEntry{Col: colB, Row: 1, Old: 5, New: 99}, false},  // both outside
+		{WriteEntry{Col: colA, Row: 7, Old: 1, New: 2}, true},      // point read hit
+		{WriteEntry{Col: colA, Row: 8, Old: 1, New: 2}, false},     // other row
+		{WriteEntry{Col: colB, Row: 1, Old: 150, New: 5}, true},    // old in range
+		{WriteEntry{Col: colB, Row: 1, Old: 5, New: 150}, true},    // new in range
+		{WriteEntry{Col: colB, Row: 1, Old: 5, New: 99}, false},    // both outside
 		{WriteEntry{Col: colA, Row: 1, Old: 150, New: 150}, false}, // range is on colB only
 	}
 	for i, c := range cases {

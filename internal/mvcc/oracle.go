@@ -16,6 +16,7 @@ import "sync/atomic"
 type Oracle struct {
 	next      atomic.Uint64 // last assigned commit timestamp
 	completed atomic.Uint64 // last commit whose materialization finished
+	hook      atomic.Value  // func(ts uint64), called after Complete
 }
 
 // Begin returns a begin timestamp: the most recent completed commit.
@@ -26,9 +27,20 @@ func (o *Oracle) Begin() uint64 { return o.completed.Load() }
 // in assignment order.
 func (o *Oracle) NextCommitTS() uint64 { return o.next.Add(1) }
 
+// SetCompleteHook registers fn to run after every Complete, inside the
+// commit critical section. The snapshot lifecycle manager uses it to
+// trigger snapshot refresh every n commits, so fn must be cheap and must
+// not take locks that commit processing can wait on.
+func (o *Oracle) SetCompleteHook(fn func(ts uint64)) { o.hook.Store(fn) }
+
 // Complete publishes ts as the newest completed commit. Must be called
 // in commit-timestamp order (guaranteed by the commit mutex).
-func (o *Oracle) Complete(ts uint64) { o.completed.Store(ts) }
+func (o *Oracle) Complete(ts uint64) {
+	o.completed.Store(ts)
+	if fn, ok := o.hook.Load().(func(ts uint64)); ok && fn != nil {
+		fn(ts)
+	}
+}
 
 // Completed returns the newest completed commit timestamp.
 func (o *Oracle) Completed() uint64 { return o.completed.Load() }

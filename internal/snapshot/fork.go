@@ -43,3 +43,7 @@ func (f *ForkBased) Snapshot(regions []Region) (Snap, error) {
 }
 
 var _ Strategy = (*ForkBased)(nil)
+
+func init() {
+	Register(KindFork, func(p *vmem.Process) Strategy { return NewForkBased(p) })
+}

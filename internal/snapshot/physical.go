@@ -29,6 +29,7 @@ func (p *Physical) Snapshot(regions []Region) (Snap, error) {
 	for i, r := range regions {
 		addr, err := p.proc.Mmap(r.Len, vmem.ProtRead|vmem.ProtWrite, vmem.MapPrivate|vmem.MapAnonymous, nil, 0)
 		if err != nil {
+			munmapRegions(p.proc, out[:i])
 			return nil, err
 		}
 		// Page-wise memcpy: the eager separation of source and
@@ -40,12 +41,12 @@ func (p *Physical) Snapshot(regions []Region) (Snap, error) {
 		out[i] = Region{Addr: addr, Len: r.Len}
 	}
 	s := &baseSnap{proc: p.proc, regions: out}
-	s.release = func() {
-		for _, r := range out {
-			_ = p.proc.Munmap(r.Addr, r.Len)
-		}
-	}
+	s.release = func() { munmapRegions(p.proc, out) }
 	return s, nil
 }
 
 var _ Strategy = (*Physical)(nil)
+
+func init() {
+	Register(KindPhysical, func(p *vmem.Process) Strategy { return NewPhysical(p) })
+}

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ankerdb/internal/mmfile"
+	"ankerdb/internal/vmem"
+)
+
+// Canonical strategy names, usable with New. Each strategy file
+// registers itself under one of these in an init function, so linking a
+// strategy into the binary is what makes it constructible by name.
+const (
+	KindPhysical = "physical"
+	KindFork     = "fork"
+	KindRewired  = "rewired"
+	KindVMSnap   = "vmsnap"
+)
+
+// Constructor builds a strategy operating on proc's address space.
+type Constructor func(proc *vmem.Process) Strategy
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Constructor{}
+)
+
+// aliases maps historical / paper-facing spellings to canonical names,
+// so benchmark output names (Strategy.Name) round-trip through New.
+var aliases = map[string]string{
+	"rewiring":    KindRewired,
+	"vm_snapshot": KindVMSnap,
+	"forkbased":   KindFork,
+}
+
+// Register makes a strategy constructible by name. It panics on
+// duplicate registration, which indicates an init-order bug.
+func Register(name string, c Constructor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("snapshot: duplicate strategy %q", name))
+	}
+	registry[name] = c
+}
+
+// New constructs the named strategy for proc. Canonical names and the
+// aliases used in the paper's benchmark output are both accepted.
+func New(name string, proc *vmem.Process) (Strategy, error) {
+	regMu.Lock()
+	c := registry[name]
+	if c == nil {
+		if canon, ok := aliases[name]; ok {
+			c = registry[canon]
+		}
+	}
+	regMu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("snapshot: unknown strategy %q (have %v)", name, Names())
+	}
+	return c(proc), nil
+}
+
+// Names returns the canonical registered strategy names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionAllocator is implemented by strategies whose source regions need
+// special backing. Rewired snapshotting can only snapshot shared
+// mappings of main-memory files, so callers hosting data that will be
+// snapshotted must allocate it through NewRegion when the strategy
+// implements this interface.
+type RegionAllocator interface {
+	NewRegion(name string, length uint64) (Region, *mmfile.File, error)
+}

@@ -84,45 +84,58 @@ func (r *Rewired) Snapshot(regions []Region) (Snap, error) {
 		return nil, err
 	}
 	out := make([]Region, len(regions))
+	// fail rolls back the snapshot areas built so far, including the
+	// partially rewired area of the failing region.
+	fail := func(i int, partial Region, err error) (Snap, error) {
+		munmapRegions(r.proc, out[:i])
+		if partial.Addr != 0 {
+			_ = r.proc.Munmap(partial.Addr, partial.Len)
+		}
+		return nil, err
+	}
 	for i, reg := range regions {
 		mappings := r.proc.DescribeRange(reg.Addr, reg.Len)
 		if len(mappings) == 0 {
-			return nil, fmt.Errorf("rewired snapshot: region %#x not mapped", reg.Addr)
+			return fail(i, Region{}, fmt.Errorf("rewired snapshot: region %#x not mapped", reg.Addr))
 		}
 		var snapAddr uint64
 		for j, m := range mappings {
 			if m.File == nil || m.Flags&vmem.MapShared == 0 {
-				return nil, fmt.Errorf("rewired snapshot: region %#x is not a shared file mapping", reg.Addr)
+				return fail(i, Region{Addr: snapAddr, Len: reg.Len},
+					fmt.Errorf("rewired snapshot: region %#x is not a shared file mapping", reg.Addr))
 			}
 			if j == 0 {
 				// First VMA also reserves the whole area; its tail is
 				// immediately rewired by the following mmaps.
 				a, err := r.proc.Mmap(reg.Len, vmem.ProtRead, vmem.MapShared, m.File, m.FileOff)
 				if err != nil {
-					return nil, err
+					return fail(i, Region{}, err)
 				}
 				snapAddr = a
 				continue
 			}
 			dst := snapAddr + (m.Addr - reg.Addr)
 			if err := r.proc.MmapFixed(dst, m.Len, vmem.ProtRead, vmem.MapShared, m.File, m.FileOff); err != nil {
-				return nil, err
+				return fail(i, Region{Addr: snapAddr, Len: reg.Len}, err)
 			}
 		}
 		// Write-protect the source: the detection mechanism for manual
 		// copy-on-write (the paper's extra mprotect pass).
 		if err := r.proc.Mprotect(reg.Addr, reg.Len, vmem.ProtRead); err != nil {
-			return nil, err
+			return fail(i, Region{Addr: snapAddr, Len: reg.Len}, err)
 		}
 		out[i] = Region{Addr: snapAddr, Len: reg.Len}
 	}
 	s := &baseSnap{proc: r.proc, regions: out}
-	s.release = func() {
-		for _, reg := range out {
-			_ = r.proc.Munmap(reg.Addr, reg.Len)
-		}
-	}
+	s.release = func() { munmapRegions(r.proc, out) }
 	return s, nil
 }
 
-var _ Strategy = (*Rewired)(nil)
+var (
+	_ Strategy        = (*Rewired)(nil)
+	_ RegionAllocator = (*Rewired)(nil)
+)
+
+func init() {
+	Register(KindRewired, func(p *vmem.Process) Strategy { return NewRewired(p) })
+}

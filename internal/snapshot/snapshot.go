@@ -63,6 +63,15 @@ func (s *baseSnap) Release() {
 	}
 }
 
+// munmapRegions unmaps snapshot areas in proc, ignoring errors. Used
+// both to release snapshots and to roll back partially created ones
+// when a later region fails.
+func munmapRegions(proc *vmem.Process, regions []Region) {
+	for _, r := range regions {
+		_ = proc.Munmap(r.Addr, r.Len)
+	}
+}
+
 func checkRegions(regions []Region) error {
 	if len(regions) == 0 {
 		return fmt.Errorf("snapshot: no regions")

@@ -28,16 +28,13 @@ func (v *VMSnap) Snapshot(regions []Region) (Snap, error) {
 	for i, r := range regions {
 		addr, err := v.proc.VMSnapshot(0, r.Addr, r.Len)
 		if err != nil {
+			munmapRegions(v.proc, out[:i])
 			return nil, err
 		}
 		out[i] = Region{Addr: addr, Len: r.Len}
 	}
 	s := &baseSnap{proc: v.proc, regions: out}
-	s.release = func() {
-		for _, r := range out {
-			_ = v.proc.Munmap(r.Addr, r.Len)
-		}
-	}
+	s.release = func() { munmapRegions(v.proc, out) }
 	return s, nil
 }
 
@@ -50,3 +47,7 @@ func (v *VMSnap) SnapshotInto(dst Region, src Region) error {
 }
 
 var _ Strategy = (*VMSnap)(nil)
+
+func init() {
+	Register(KindVMSnap, func(p *vmem.Process) Strategy { return NewVMSnap(p) })
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"fmt"
+
+	"ankerdb/internal/phys"
+	"ankerdb/internal/vmem"
+)
+
+// Region is one contiguous mapped range of a column array, exposed so
+// the snapshotting layer can virtually snapshot exactly the columns a
+// query touches (the paper's fine-granular mode).
+type Region struct {
+	Addr uint64
+	Len  uint64
+}
+
+// Region returns the mapped range of the array.
+func (w WordArray) Region() Region { return Region{Addr: w.addr, Len: w.size} }
+
+// PreFault touches every page of the array writable, so later snapshot
+// costs include every PTE (the bulk-loaded state the paper measures).
+func (w WordArray) PreFault() {
+	ps := w.proc.PageSize()
+	for off := uint64(0); off < w.size; off += ps {
+		w.proc.Store(w.addr+off, w.proc.Load(w.addr+off))
+	}
+}
+
+// ColumnAlloc maps one fixed-size column array of rows words. The
+// default allocator uses private anonymous memory; the rewired
+// snapshotting strategy substitutes shared main-memory-file regions.
+type ColumnAlloc func(name string, rows int) (WordArray, error)
+
+// DefaultColumnAlloc allocates columns as private anonymous arrays in
+// proc, the backing every strategy except rewiring works on.
+func DefaultColumnAlloc(proc *vmem.Process) ColumnAlloc {
+	return func(name string, rows int) (WordArray, error) {
+		return NewWordArray(proc, rows)
+	}
+}
+
+// ColumnBytes returns the page-aligned mapped size of a column of rows
+// words in proc.
+func ColumnBytes(proc *vmem.Process, rows int) uint64 {
+	ps := proc.PageSize()
+	return (uint64(rows)*phys.WordSize + ps - 1) / ps * ps
+}
+
+// Table is a fixed-capacity columnar table: per schema column one data
+// array and one parallel write-timestamp array (the per-row commit
+// timestamps MVCC visibility checks read), both individually
+// snapshottable. VARCHAR values share one table-wide dictionary.
+type Table struct {
+	schema Schema
+	rows   int
+	dict   *Dict
+	data   []WordArray
+	wts    []WordArray
+}
+
+// NewTable allocates a table of the given fixed row capacity, drawing
+// every column array from alloc.
+func NewTable(schema Schema, rows int, alloc ColumnAlloc) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("storage: table %q: non-positive row capacity %d", schema.Table, rows)
+	}
+	t := &Table{schema: schema, rows: rows, dict: NewDict()}
+	for _, c := range schema.Columns {
+		d, err := alloc(schema.Table+"."+c.Name, rows)
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %q column %q: %w", schema.Table, c.Name, err)
+		}
+		w, err := alloc(schema.Table+"."+c.Name+".wts", rows)
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %q column %q wts: %w", schema.Table, c.Name, err)
+		}
+		t.data = append(t.data, d)
+		t.wts = append(t.wts, w)
+	}
+	return t, nil
+}
+
+// Schema returns the table layout.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Rows returns the fixed row capacity.
+func (t *Table) Rows() int { return t.rows }
+
+// Dict returns the table-wide VARCHAR dictionary.
+func (t *Table) Dict() *Dict { return t.dict }
+
+// Data returns the data array of column col.
+func (t *Table) Data(col int) WordArray { return t.data[col] }
+
+// WTS returns the write-timestamp array of column col.
+func (t *Table) WTS(col int) WordArray { return t.wts[col] }
+
+// ColumnRegions returns the mapped ranges of column col's data and
+// write-timestamp arrays — the unit of fine-granular snapshotting.
+func (t *Table) ColumnRegions(col int) (data, wts Region) {
+	return t.data[col].Region(), t.wts[col].Region()
+}

@@ -1,0 +1,101 @@
+package ankerdb
+
+import (
+	"time"
+
+	"ankerdb/internal/phys"
+	"ankerdb/internal/snapshot"
+)
+
+// SnapshotStrategy selects the snapshot-creation technique OLAP
+// transactions read through. The four values are the techniques the
+// paper compares head to head in Table 1 and Figure 5.
+type SnapshotStrategy string
+
+// Snapshot strategies.
+const (
+	// Physical eagerly deep-copies the snapshotted columns.
+	Physical SnapshotStrategy = snapshot.KindPhysical
+	// Fork forks the whole simulated process, HyPer-style; the kernel
+	// COW-protects the entire image regardless of what was requested.
+	Fork SnapshotStrategy = snapshot.KindFork
+	// Rewired re-mmaps main-memory files per VMA and performs manual
+	// copy-on-write in user space (RUMA-style).
+	Rewired SnapshotStrategy = snapshot.KindRewired
+	// VMSnap uses the paper's custom vm_snapshot system call: one
+	// kernel entry per column, kernel-grade COW.
+	VMSnap SnapshotStrategy = snapshot.KindVMSnap
+)
+
+type initialSchema struct {
+	schema Schema
+	rows   int
+}
+
+type config struct {
+	strategy     SnapshotStrategy
+	cost         CostModel
+	pageSize     int
+	refreshEvery uint64
+	maxAge       time.Duration
+	schemas      []initialSchema
+}
+
+func defaultConfig() config {
+	return config{
+		strategy:     VMSnap,
+		cost:         DefaultCost,
+		pageSize:     phys.DefaultPageSize,
+		refreshEvery: 1, // the paper's high-frequency mode: refresh on every commit
+	}
+}
+
+// Option configures a DB at Open time.
+type Option func(*config)
+
+// WithSnapshotStrategy selects the snapshot technique (default VMSnap,
+// the paper's contribution).
+func WithSnapshotStrategy(s SnapshotStrategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithCostModel sets the simulated kernel cost model (default
+// DefaultCost). Functional tests pass ZeroCost to skip the calibrated
+// busy-waits.
+func WithCostModel(m CostModel) Option {
+	return func(c *config) { c.cost = m }
+}
+
+// WithPageSize sets the simulated page size in bytes (default 4096;
+// the huge-page ablation of the paper uses 2 MiB).
+func WithPageSize(n int) Option {
+	return func(c *config) { c.pageSize = n }
+}
+
+// WithSnapshotRefresh makes OLAP snapshots refresh after every n
+// commits: a new snapshot generation is started once n commits have
+// completed since the current generation's timestamp. n == 0 disables
+// commit-count-based refresh (generations rotate only by age, or
+// never). Default 1, the paper's high-frequency mode.
+func WithSnapshotRefresh(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.refreshEvery = uint64(n)
+	}
+}
+
+// WithSnapshotMaxAge additionally bounds snapshot staleness by wall
+// time: an OLAP transaction beginning more than d after the current
+// generation was created starts a fresh generation. Zero (the default)
+// disables age-based refresh.
+func WithSnapshotMaxAge(d time.Duration) Option {
+	return func(c *config) { c.maxAge = d }
+}
+
+// WithInitialSchema creates the table at Open, before any transaction
+// can run. Equivalent to calling CreateTable immediately after Open.
+func WithInitialSchema(schema Schema, rows int) Option {
+	return func(c *config) { c.schemas = append(c.schemas, initialSchema{schema, rows}) }
+}

@@ -1,0 +1,59 @@
+package ankerdb
+
+import (
+	"ankerdb/internal/cost"
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/storage"
+	"ankerdb/internal/vmem"
+)
+
+// The facade re-exports the handful of internal types that appear in
+// its API as aliases, so callers build schemas, pick transaction
+// classes and tune cost models without importing internal packages
+// (which the Go toolchain forbids outside this module).
+
+// Schema declares a table layout.
+type Schema = storage.Schema
+
+// ColumnDef declares one column of a Schema.
+type ColumnDef = storage.ColumnDef
+
+// ColumnType is the logical type of a column; every type is physically
+// a 64-bit word.
+type ColumnType = storage.Type
+
+// Column types.
+const (
+	Int64   = storage.Int64
+	Money   = storage.Money
+	Date    = storage.Date
+	Varchar = storage.Varchar
+)
+
+// TxnClass is the paper's transaction classification: short modifying
+// OLTP transactions versus long read-only OLAP transactions.
+type TxnClass = mvcc.Class
+
+// Transaction classes, passed to DB.Begin.
+const (
+	OLTP = mvcc.OLTP
+	OLAP = mvcc.OLAP
+)
+
+// CostModel is the simulated kernel cost model charged by the virtual
+// memory subsystem (syscall entries, VMA operations, page faults,
+// signal delivery).
+type CostModel = cost.Model
+
+// Predefined cost models: DefaultCost is calibrated to the order of
+// magnitude of Linux on the paper's hardware; ZeroCost charges nothing
+// and suits functional tests.
+var (
+	DefaultCost = cost.Default
+	ZeroCost    = cost.Zero
+)
+
+// VMStats are the cumulative counters of the simulated virtual memory
+// subsystem (COW breaks, minor faults, VMA bookkeeping, vm_snapshot
+// calls), reported inside Stats.
+type VMStats = vmem.Stats

@@ -1,0 +1,247 @@
+package ankerdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/snapshot"
+	"ankerdb/internal/storage"
+)
+
+// snapManager is the snapshot lifecycle manager: it hands OLAP
+// transactions a reference-counted snapshot generation, rotates
+// generations when the refresh policy fires (every n commits, signalled
+// by the oracle's complete hook, and/or by wall-clock age), and
+// releases a generation's column snapshots once the last pin drops.
+//
+// Generations are fine-granular and lazy: rotating one is free, and a
+// column is only snapshotted — through the configured strategy, data
+// and write-timestamp arrays together — the first time an OLAP
+// transaction in the generation touches it.
+type snapManager struct {
+	db           *DB
+	refreshEvery uint64        // commits between refreshes, 0 = off
+	maxAge       time.Duration // wall-clock bound, 0 = off
+
+	commitsSince atomic.Uint64 // commits since the current generation's ts
+	stale        atomic.Bool   // refresh policy fired, rotate on next acquire
+
+	mu          sync.Mutex
+	current     *generation
+	closed      bool                     // DB closed: stop holding manager pins
+	live        map[*generation]struct{} // generations with refs > 0
+	generations uint64                   // total generations started
+
+	created      atomic.Uint64 // column snapshots created
+	released     atomic.Uint64 // column snapshots released
+	createdNanos atomic.Uint64 // cumulative creation time
+	lastNanos    atomic.Uint64 // latest creation time
+}
+
+// generation is one snapshot epoch: a timestamp (set when the first
+// OLAP transaction pins it) plus the lazily created per-column
+// snapshots all OLAP transactions in the epoch share.
+type generation struct {
+	mgr  *snapManager
+	born time.Time
+	ts   uint64
+	tsOK bool
+	refs int // pins: one per running OLAP txn, plus one while current
+
+	colMu sync.Mutex
+	cols  map[mvcc.ColumnID]*colSnap
+}
+
+// colSnap is one column's snapshot inside a generation: resolved page
+// caches over the snapshotted data and write-timestamp arrays, readable
+// without the address-space lock.
+type colSnap struct {
+	snap snapshot.Snap
+	data *storage.PageCache
+	wts  *storage.PageCache
+}
+
+func newSnapManager(db *DB, refreshEvery uint64, maxAge time.Duration) *snapManager {
+	return &snapManager{
+		db:           db,
+		refreshEvery: refreshEvery,
+		maxAge:       maxAge,
+		live:         map[*generation]struct{}{},
+	}
+}
+
+// noteCommit is the oracle's complete hook, called inside the commit
+// critical section: it only touches atomics, flagging the current
+// generation stale once refreshEvery commits have completed.
+func (m *snapManager) noteCommit(uint64) {
+	if m.refreshEvery == 0 {
+		return
+	}
+	if m.commitsSince.Add(1) >= m.refreshEvery {
+		m.stale.Store(true)
+	}
+}
+
+// acquire pins and returns the generation a beginning OLAP transaction
+// reads in, rotating first if the refresh policy fired.
+func (m *snapManager) acquire() *generation {
+	m.mu.Lock()
+	cur := m.current
+	var dead *generation
+	if cur == nil || m.shouldRotate(cur) {
+		if cur != nil && m.unpinLocked(cur) {
+			dead = cur // manager held the last pin: destroy below
+		}
+		cur = &generation{mgr: m, born: time.Now(), cols: map[mvcc.ColumnID]*colSnap{}}
+		m.live[cur] = struct{}{}
+		m.generations++
+		if !m.closed {
+			// The manager's own pin keeps the current generation alive
+			// between transactions. A Begin racing Close skips it, so
+			// the transaction's release is the last pin and nothing
+			// outlives it.
+			cur.refs = 1
+			m.current = cur
+		}
+	}
+	if !cur.tsOK {
+		// The generation's timestamp is fixed by its first reader, so
+		// an idle engine never serves needlessly stale snapshots.
+		cur.ts = m.db.oracle.Completed()
+		cur.tsOK = true
+		m.commitsSince.Store(0)
+		m.stale.Store(false)
+	}
+	cur.refs++
+	m.mu.Unlock()
+	if dead != nil {
+		dead.destroy()
+	}
+	return cur
+}
+
+func (m *snapManager) shouldRotate(g *generation) bool {
+	if !g.tsOK {
+		return false // never read from: still perfectly fresh
+	}
+	if m.stale.Load() {
+		return true
+	}
+	return m.maxAge > 0 && time.Since(g.born) > m.maxAge
+}
+
+// release drops one pin; the last pin releases every column snapshot
+// the generation created.
+func (m *snapManager) release(g *generation) {
+	m.mu.Lock()
+	dead := m.unpinLocked(g)
+	m.mu.Unlock()
+	if dead {
+		g.destroy()
+	}
+}
+
+func (m *snapManager) unpinLocked(g *generation) (dead bool) {
+	g.refs--
+	if g.refs > 0 {
+		return false
+	}
+	delete(m.live, g)
+	if m.current == g {
+		m.current = nil
+	}
+	return true
+}
+
+func (g *generation) destroy() {
+	g.colMu.Lock()
+	defer g.colMu.Unlock()
+	for _, cs := range g.cols {
+		cs.snap.Release()
+		g.mgr.released.Add(1)
+	}
+	g.cols = map[mvcc.ColumnID]*colSnap{}
+}
+
+// minTS returns the oldest timestamp any live generation reads at, or
+// ifEmpty when none has a timestamp yet — the snapshot side of the
+// version-chain GC floor.
+func (m *snapManager) minTS(ifEmpty uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	minTS := ifEmpty
+	for g := range m.live {
+		if g.tsOK && g.ts < minTS {
+			minTS = g.ts
+		}
+	}
+	return minTS
+}
+
+// close drops the manager's pin on the current generation and stops
+// the manager from taking new ones.
+func (m *snapManager) close() {
+	m.mu.Lock()
+	m.closed = true
+	cur := m.current
+	var dead bool
+	if cur != nil {
+		dead = m.unpinLocked(cur)
+	}
+	m.mu.Unlock()
+	if dead {
+		cur.destroy()
+	}
+}
+
+// colSnap returns the generation's snapshot of c, creating it on first
+// touch: this is the paper's fine-granular mode, where only the columns
+// a query actually reads are ever snapshotted. Creation runs under the
+// commit mutex so the snapshot captures a transaction-consistent state;
+// every row the snapshot holds with a write timestamp above the
+// generation's timestamp is repaired from the version chains at read
+// time.
+func (g *generation) colSnap(c *column) (*colSnap, error) {
+	g.colMu.Lock()
+	defer g.colMu.Unlock()
+	if cs, ok := g.cols[c.id]; ok {
+		return cs, nil
+	}
+	m := g.mgr
+	m.db.commitMu.Lock()
+	start := time.Now()
+	snap, err := m.db.strat.Snapshot(c.regions())
+	elapsed := time.Since(start)
+	m.db.commitMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	m.created.Add(1)
+	m.createdNanos.Add(uint64(elapsed.Nanoseconds()))
+	m.lastNanos.Store(uint64(elapsed.Nanoseconds()))
+
+	reader := snap.Reader()
+	regs := snap.Regions()
+	data := storage.ViewWordArray(reader, regs[0].Addr, c.data.Rows())
+	wts := storage.ViewWordArray(reader, regs[1].Addr, c.wts.Rows())
+	cs := &colSnap{snap: snap, data: data.Resolve(), wts: wts.Resolve()}
+	g.cols[c.id] = cs
+	return cs, nil
+}
+
+// value reads row of c at the generation's timestamp: straight from the
+// snapshot when the snapshotted write timestamp is old enough,
+// otherwise from the version chain.
+func (g *generation) value(c *column, cs *colSnap, row int) int64 {
+	if cs.wts.GetU(row) <= g.ts {
+		return cs.data.Get(row)
+	}
+	if v, ok := c.chain.VisibleAt(row, g.ts); ok {
+		return v
+	}
+	// Unreachable while GC respects the generation floor; the snapshot
+	// value is the best remaining answer.
+	return cs.data.Get(row)
+}

@@ -1,0 +1,95 @@
+package ankerdb
+
+import "time"
+
+// Stats is a point-in-time snapshot of engine counters, the surface
+// later benchmarking PRs measure against.
+type Stats struct {
+	Strategy string // snapshot strategy name
+
+	// Transaction pipeline.
+	Commits      uint64 // OLTP commits that materialised writes
+	EmptyCommits uint64 // read-only OLTP commits
+	Aborts       uint64 // explicit aborts + validation failures
+	Conflicts    uint64 // precision-locking validation failures
+	OLTPBegun    uint64
+	OLAPBegun    uint64
+	ActiveTxns   int // running OLTP transactions
+
+	// Snapshot lifecycle.
+	SnapshotsCreated    uint64        // column snapshots created
+	SnapshotsReleased   uint64        // column snapshots released
+	ActiveSnapshots     uint64        // created - released
+	Generations         uint64        // snapshot generations started
+	SnapshotCreateTime  time.Duration // cumulative creation latency
+	LastSnapshotTime    time.Duration // latency of the newest snapshot
+	SnapshotStaleness   uint64        // commits the current generation lags
+	PinnedGenerations   int           // generations still referenced
+	CompletedCommitTS   uint64        // newest completed commit timestamp
+	VersionNodes        int64         // live version-chain nodes
+	VersionsGCed        int64         // version nodes removed by vacuum
+	Vacuums             uint64        // chain GC passes
+	RecentCommitRecords int           // retained validation records
+
+	// Simulated virtual memory subsystem (COW page copies, faults,
+	// VMA bookkeeping, vm_snapshot calls, ...).
+	VM          VMStats
+	MappedBytes uint64 // virtual size of the simulated process
+	NumVMAs     int    // VMA count (Figure 5a's x-axis driver)
+}
+
+// Stats returns current engine counters.
+func (db *DB) Stats() Stats {
+	m := db.snaps
+	// released first: every release is preceded by a create, so loading
+	// in this order keeps created >= released even mid-lifecycle.
+	released := m.released.Load()
+	created := m.created.Load()
+
+	s := Stats{
+		Strategy:     db.strat.Name(),
+		Commits:      db.st.commits.Load(),
+		EmptyCommits: db.st.emptyCommits.Load(),
+		Aborts:       db.st.aborts.Load(),
+		Conflicts:    db.st.conflicts.Load(),
+		OLTPBegun:    db.st.oltpBegun.Load(),
+		OLAPBegun:    db.st.olapBegun.Load(),
+		ActiveTxns:   db.activ.Len(),
+
+		SnapshotsCreated:   created,
+		SnapshotsReleased:  released,
+		ActiveSnapshots:    created - released,
+		SnapshotCreateTime: time.Duration(m.createdNanos.Load()),
+		LastSnapshotTime:   time.Duration(m.lastNanos.Load()),
+		CompletedCommitTS:  db.oracle.Completed(),
+
+		VersionsGCed:        db.st.versionsGCed.Load(),
+		Vacuums:             db.st.vacuums.Load(),
+		RecentCommitRecords: db.recent.Len(),
+
+		VM:          db.proc.Stats(),
+		MappedBytes: db.proc.MappedBytes(),
+		NumVMAs:     db.proc.NumVMAs(),
+	}
+
+	m.mu.Lock()
+	s.Generations = m.generations
+	s.PinnedGenerations = len(m.live)
+	if cur := m.current; cur != nil && cur.tsOK {
+		// Re-read Completed: the sample above may predate this
+		// generation, and staleness must not underflow.
+		if c := db.oracle.Completed(); c > cur.ts {
+			s.SnapshotStaleness = c - cur.ts
+		}
+	}
+	m.mu.Unlock()
+
+	db.mu.RLock()
+	for _, t := range db.tabList {
+		for _, c := range t.cols {
+			s.VersionNodes += c.chain.Nodes()
+		}
+	}
+	db.mu.RUnlock()
+	return s
+}

@@ -1,0 +1,319 @@
+package ankerdb
+
+import (
+	"fmt"
+	"math"
+
+	"ankerdb/internal/mvcc"
+)
+
+// Txn is one transaction. OLTP transactions stage writes locally (Set),
+// read their own writes (Get), and publish atomically at Commit after
+// precision-locking validation; Abort is free. OLAP transactions are
+// read-only and serve Scan/Filter/Aggregate from per-column virtual
+// snapshots pinned at Begin.
+//
+// A Txn must not be used from multiple goroutines.
+type Txn struct {
+	db    *DB
+	id    uint64
+	class TxnClass
+	state *mvcc.TxnState // OLTP
+	gen   *generation    // OLAP
+	done  bool
+}
+
+// Class returns the transaction's class.
+func (t *Txn) Class() TxnClass { return t.class }
+
+// SnapshotTS returns the commit timestamp the transaction reads at: the
+// begin timestamp for OLTP, the pinned snapshot generation's timestamp
+// for OLAP.
+func (t *Txn) SnapshotTS() uint64 {
+	if t.class == OLAP {
+		return t.gen.ts
+	}
+	return t.state.Begin
+}
+
+// Staleness returns how many commits the transaction's read timestamp
+// currently lags behind the newest completed commit — the bounded
+// staleness OLAP transactions trade for snapshot scans.
+func (t *Txn) Staleness() uint64 {
+	return t.db.oracle.Completed() - t.SnapshotTS()
+}
+
+// Get returns the value of (table, column, row) as of the transaction's
+// read timestamp. OLTP transactions see their own staged writes and
+// record the read for commit-time validation; OLAP transactions read
+// the pinned snapshot.
+func (t *Txn) Get(tab, col string, row int) (int64, error) {
+	c, err := t.readable(tab, col, row)
+	if err != nil {
+		return 0, err
+	}
+	if t.class == OLAP {
+		cs, err := t.gen.colSnap(c)
+		if err != nil {
+			return 0, err
+		}
+		return t.gen.value(c, cs, row), nil
+	}
+	if v, ok := t.state.StagedValue(c.id, row); ok {
+		return v, nil
+	}
+	t.state.NotePointRead(c.id, row)
+	return c.valueAt(row, t.state.Begin), nil
+}
+
+// GetString is Get for VARCHAR columns, decoding through the table
+// dictionary.
+func (t *Txn) GetString(tab, col string, row int) (string, error) {
+	c, err := t.readable(tab, col, row)
+	if err != nil {
+		return "", err
+	}
+	if c.def.Type != Varchar {
+		return "", fmt.Errorf("%w: %s is %s, want VARCHAR", ErrType, col, c.def.Type)
+	}
+	v, err := t.Get(tab, col, row)
+	if err != nil {
+		return "", err
+	}
+	return c.dict.Decode(v), nil
+}
+
+// Set stages a write of (table, column, row); nothing is visible to
+// other transactions until Commit.
+func (t *Txn) Set(tab, col string, row int, v int64) error {
+	c, err := t.writable(tab, col, row)
+	if err != nil {
+		return err
+	}
+	t.state.StageWrite(c.id, row, v)
+	return nil
+}
+
+// SetString is Set for VARCHAR columns, encoding through the table
+// dictionary. The dictionary is append-only and shared, so codes
+// assigned by transactions that later abort simply remain unused.
+func (t *Txn) SetString(tab, col string, row int, s string) error {
+	c, err := t.writable(tab, col, row)
+	if err != nil {
+		return err
+	}
+	if c.def.Type != Varchar {
+		return fmt.Errorf("%w: %s is %s, want VARCHAR", ErrType, col, c.def.Type)
+	}
+	t.state.StageWrite(c.id, row, c.dict.Encode(s))
+	return nil
+}
+
+// Scan returns the whole column as of the transaction's read timestamp.
+func (t *Txn) Scan(tab, col string) ([]int64, error) {
+	c, err := t.readable(tab, col, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, c.data.Rows())
+	err = t.scanColumn(c, func(row int, v int64) { out[row] = v })
+	return out, err
+}
+
+// Filter returns the rows whose value lies in [lo, hi] as of the
+// transaction's read timestamp. OLTP transactions record the range as a
+// precision-locking predicate, so a concurrent commit into the range
+// aborts them at Commit.
+func (t *Txn) Filter(tab, col string, lo, hi int64) ([]int, error) {
+	c, err := t.readable(tab, col, 0)
+	if err != nil {
+		return nil, err
+	}
+	if t.class == OLTP {
+		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: lo, Hi: hi})
+	}
+	var rows []int
+	err = t.scanColumn(c, func(row int, v int64) {
+		if v >= lo && v <= hi {
+			rows = append(rows, row)
+		}
+	})
+	return rows, err
+}
+
+// Agg selects the aggregate Aggregate computes.
+type Agg uint8
+
+// Aggregates.
+const (
+	Sum Agg = iota
+	Min
+	Max
+	Count
+)
+
+// Aggregate folds the whole column as of the transaction's read
+// timestamp. Count returns the table's row capacity.
+func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
+	c, err := t.readable(tab, col, 0)
+	if err != nil {
+		return 0, err
+	}
+	var acc int64
+	switch agg {
+	case Count:
+		return int64(c.data.Rows()), nil
+	case Min:
+		acc = math.MaxInt64
+	case Max:
+		acc = math.MinInt64
+	}
+	err = t.scanColumn(c, func(_ int, v int64) {
+		switch agg {
+		case Sum:
+			acc += v
+		case Min:
+			if v < acc {
+				acc = v
+			}
+		case Max:
+			if v > acc {
+				acc = v
+			}
+		}
+	})
+	return acc, err
+}
+
+// scanColumn drives fn over every row at the transaction's read
+// timestamp. OLAP scans run over the snapshot's resolved pages with the
+// block-granular version metadata keeping the common case a tight loop
+// (the HyPer-style optimisation of Section 5.5); OLTP scans read the
+// live column with the lock-free read protocol and record the scan as a
+// full-range predicate for validation.
+func (t *Txn) scanColumn(c *column, fn func(row int, v int64)) error {
+	rows := c.data.Rows()
+	if t.class == OLTP {
+		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
+		begin := t.state.Begin
+		for row := 0; row < rows; row++ {
+			if v, ok := t.state.StagedValue(c.id, row); ok {
+				fn(row, v)
+				continue
+			}
+			fn(row, c.valueAt(row, begin))
+		}
+		return nil
+	}
+	cs, err := t.gen.colSnap(c)
+	if err != nil {
+		return err
+	}
+	for blk := 0; blk < c.meta.Blocks(); blk++ {
+		lo, hi := c.meta.BlockSpan(blk)
+		vlo, vhi, any := c.meta.Range(blk)
+		if !any {
+			// No row of this block was ever versioned: pure snapshot
+			// data, scanned page-wise without per-row checks.
+			for row := lo; row < hi; row++ {
+				fn(row, cs.data.Get(row))
+			}
+			continue
+		}
+		for row := lo; row < hi; row++ {
+			if row >= vlo && row <= vhi {
+				fn(row, t.gen.value(c, cs, row))
+			} else {
+				fn(row, cs.data.Get(row))
+			}
+		}
+	}
+	return nil
+}
+
+// Commit finishes the transaction. For OLTP it runs the serialised
+// commit phase (validation + materialisation) and returns ErrConflict —
+// having aborted — when a concurrent commit invalidated the read set.
+// For OLAP it releases the snapshot pin.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if t.class == OLAP {
+		t.db.snaps.release(t.gen)
+		return nil
+	}
+	defer t.db.activ.Unregister(t.id)
+	if !t.state.HasWrites() {
+		// Read-only transactions read one consistent snapshot and need
+		// no validation to be serializable.
+		t.db.st.emptyCommits.Add(1)
+		return nil
+	}
+	if err := t.db.commit(t.state); err != nil {
+		t.db.st.aborts.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Abort discards the transaction. Staged writes were never published,
+// so aborting is free (the point of staging writes locally).
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if t.class == OLAP {
+		t.db.snaps.release(t.gen)
+		return nil
+	}
+	t.db.activ.Unregister(t.id)
+	t.db.st.aborts.Add(1)
+	return nil
+}
+
+func (t *Txn) readable(tab, col string, row int) (*column, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	c, err := t.db.lookup(tab, col)
+	if err != nil {
+		return nil, err
+	}
+	if row < 0 || row >= c.data.Rows() {
+		return nil, fmt.Errorf("%w: row %d of %d", ErrRowRange, row, c.data.Rows())
+	}
+	return c, nil
+}
+
+func (t *Txn) writable(tab, col string, row int) (*column, error) {
+	if t.class == OLAP {
+		return nil, ErrReadOnly
+	}
+	return t.readable(tab, col, row)
+}
+
+// valueAt reads the live column at timestamp ts with the lock-free
+// protocol: load the row's write timestamp, the value, and the write
+// timestamp again. A stable old-enough timestamp proves the value
+// belongs to it (commit materialisation stores the timestamp strictly
+// before the data); otherwise the displaced version is on the chain.
+func (c *column) valueAt(row int, ts uint64) int64 {
+	for {
+		w1 := c.wts.GetU(row)
+		if w1 > ts {
+			if v, ok := c.chain.VisibleAt(row, ts); ok {
+				return v
+			}
+			// Chain pruned to exactly ts's visibility: the in-place
+			// value is the visible one.
+			return c.data.Get(row)
+		}
+		v := c.data.Get(row)
+		if c.wts.GetU(row) == w1 {
+			return v
+		}
+	}
+}
