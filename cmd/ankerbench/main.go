@@ -1,5 +1,5 @@
 // Command ankerbench drives the public ankerdb facade end-to-end to
-// reproduce the paper's strategy comparison:
+// reproduce the paper's experiments:
 //
 //   - "create": snapshot creation latency per strategy as the number of
 //     touched columns grows (Table 1 / Figure 5a). Fine-granular
@@ -11,16 +11,29 @@
 //   - "mixed": concurrent OLTP writers against OLAP scanners, the
 //     workload of Section 5, reporting throughput, aborts, snapshot
 //     staleness and COW traffic.
+//   - "commit": the Figure 11 scaling experiment: OLTP commit
+//     throughput as the writer count grows, swept across commit shard
+//     counts. shards=1 is the paper's serialized commit phase; higher
+//     shard counts engage the sharded group-commit pipeline.
 //
 // All benchmarks go exclusively through the public API, so the numbers
 // include the full commit pipeline and snapshot lifecycle.
+//
+// Output formats (-format): "text" prints human-readable tables;
+// "csv" and "json" emit one flat record per measured metric
+// (bench, strategy, shards, writers, scanners, touch, metric, value),
+// the machine-readable format the CI bench artifact and the
+// paper-figure tables share.
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,20 +43,92 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed", "comma-separated benchmarks to run: create, write, mixed")
+	flagBench      = flag.String("bench", "create,write,mixed,commit", "comma-separated benchmarks to run: create, write, mixed, commit")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
 	flagWrites     = flag.Int("writes", 4096, "rows written after the snapshot (write benchmark)")
-	flagWriters    = flag.Int("writers", 4, "concurrent OLTP writers (mixed benchmark)")
+	flagWriters    = flag.Int("writers", 8, "concurrent OLTP writers (mixed benchmark; upper bound of the commit sweep)")
 	flagScanners   = flag.Int("scanners", 2, "concurrent OLAP scanners (mixed benchmark)")
 	flagRefresh    = flag.Int("refresh", 16, "snapshot refresh interval in commits (mixed benchmark)")
-	flagDur        = flag.Duration("dur", 2*time.Second, "duration per strategy (mixed benchmark)")
+	flagShards     = flag.String("shards", "1,0", "comma-separated commit shard counts for the commit sweep (0 = GOMAXPROCS)")
+	flagDur        = flag.Duration("dur", 2*time.Second, "duration per configuration (mixed and commit benchmarks)")
 	flagZeroCost   = flag.Bool("zerocost", false, "disable the simulated kernel cost model")
+	flagFormat     = flag.String("format", "text", "output format: text, csv, json")
+	flagQuick      = flag.Bool("quick", false, "CI smoke preset: small columns, short durations")
 )
+
+// record is one measured metric in the flat schema shared by the CSV
+// and JSON outputs. Shards, Writers, Scanners and Touch are -1 when the
+// dimension does not apply to the benchmark.
+type record struct {
+	Bench    string  `json:"bench"`
+	Strategy string  `json:"strategy"`
+	Shards   int     `json:"shards"`
+	Writers  int     `json:"writers"`
+	Scanners int     `json:"scanners"`
+	Touch    int     `json:"touch"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+}
+
+var records []record
+
+func emit(r record) { records = append(records, r) }
+
+// metric is one (name, value) measurement. Benchmarks emit fixed-order
+// metric slices — never maps — so the CSV/JSON artifacts are
+// byte-reproducible across runs and diffable per commit.
+type metric struct {
+	name  string
+	value float64
+}
+
+func emitAll(base record, ms []metric) {
+	for _, m := range ms {
+		rec := base
+		rec.Metric, rec.Value = m.name, m.value
+		emit(rec)
+	}
+}
+
+// textf prints to stdout only in text mode, keeping tables out of the
+// machine-readable outputs.
+func textf(format string, args ...any) {
+	if *flagFormat == "text" {
+		fmt.Printf(format, args...)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ankerbench: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	flag.Parse()
+	switch *flagFormat {
+	case "text", "csv", "json":
+	default:
+		fail("unknown format %q (want text, csv or json)", *flagFormat)
+	}
+	if *flagQuick {
+		// CI smoke preset; flags passed explicitly still win.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["rows"] {
+			*flagRows = 4096
+		}
+		if !set["writes"] {
+			*flagWrites = 1024
+		}
+		if !set["dur"] {
+			*flagDur = 300 * time.Millisecond
+		}
+		if !set["zerocost"] {
+			*flagZeroCost = true
+		}
+	}
 	var strats []ankerdb.SnapshotStrategy
 	for _, s := range strings.Split(*flagStrategies, ",") {
 		strats = append(strats, ankerdb.SnapshotStrategy(strings.TrimSpace(s)))
@@ -61,6 +146,51 @@ func main() {
 	if benches["mixed"] {
 		benchMixed(strats)
 	}
+	if benches["commit"] {
+		benchCommit()
+	}
+	flush()
+}
+
+// flush writes the collected records in the selected machine-readable
+// format. Text mode has already printed its tables.
+func flush() {
+	switch *flagFormat {
+	case "text":
+	case "csv":
+		w := csv.NewWriter(os.Stdout)
+		writeRow := func(fields ...string) {
+			if err := w.Write(fields); err != nil {
+				fail("csv: %v", err)
+			}
+		}
+		writeRow("bench", "strategy", "shards", "writers", "scanners", "touch", "metric", "value")
+		for _, r := range records {
+			writeRow(r.Bench, r.Strategy,
+				dimStr(r.Shards), dimStr(r.Writers), dimStr(r.Scanners), dimStr(r.Touch),
+				r.Metric, strconv.FormatFloat(r.Value, 'g', -1, 64))
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fail("csv: %v", err)
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fail("json: %v", err)
+		}
+	default:
+		fail("unknown format %q (want text, csv or json)", *flagFormat)
+	}
+}
+
+// dimStr renders a benchmark dimension, empty when it does not apply.
+func dimStr(v int) string {
+	if v < 0 {
+		return ""
+	}
+	return strconv.Itoa(v)
 }
 
 func costModel() ankerdb.CostModel {
@@ -71,11 +201,11 @@ func costModel() ankerdb.CostModel {
 }
 
 // openLoaded opens a DB with one table of cols columns, bulk-loaded.
-func openLoaded(strat ankerdb.SnapshotStrategy, extra ...ankerdb.Option) *ankerdb.DB {
+func openLoaded(strat ankerdb.SnapshotStrategy, cols int, extra ...ankerdb.Option) *ankerdb.DB {
 	schema := ankerdb.Schema{Table: "bench"}
-	for c := 0; c < *flagCols; c++ {
+	for c := 0; c < cols; c++ {
 		schema.Columns = append(schema.Columns,
-			ankerdb.ColumnDef{Name: fmt.Sprintf("c%d", c), Type: ankerdb.Int64})
+			ankerdb.ColumnDef{Name: colName(c), Type: ankerdb.Int64})
 	}
 	db, err := ankerdb.Open(append([]ankerdb.Option{
 		ankerdb.WithSnapshotStrategy(strat),
@@ -83,17 +213,15 @@ func openLoaded(strat ankerdb.SnapshotStrategy, extra ...ankerdb.Option) *ankerd
 		ankerdb.WithInitialSchema(schema, *flagRows),
 	}, extra...)...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ankerbench: open %s: %v\n", strat, err)
-		os.Exit(1)
+		fail("open %s: %v", strat, err)
 	}
 	vals := make([]int64, *flagRows)
 	for i := range vals {
 		vals[i] = int64(i % 1000)
 	}
-	for c := 0; c < *flagCols; c++ {
-		if err := db.Load("bench", fmt.Sprintf("c%d", c), vals); err != nil {
-			fmt.Fprintf(os.Stderr, "ankerbench: load: %v\n", err)
-			os.Exit(1)
+	for c := 0; c < cols; c++ {
+		if err := db.Load("bench", colName(c), vals); err != nil {
+			fail("load: %v", err)
 		}
 	}
 	return db
@@ -104,57 +232,76 @@ func colName(i int) string { return fmt.Sprintf("c%d", i) }
 // benchCreate measures snapshot creation latency versus the number of
 // columns an OLAP transaction touches (Table 1 / Figure 5a).
 func benchCreate(strats []ankerdb.SnapshotStrategy) {
-	fmt.Printf("== snapshot creation latency (rows/column=%d, cols=%d) ==\n", *flagRows, *flagCols)
-	fmt.Printf("%-10s", "strategy")
+	textf("== snapshot creation latency (rows/column=%d, cols=%d) ==\n", *flagRows, *flagCols)
+	textf("%-10s", "strategy")
 	for touch := 1; touch <= *flagCols; touch *= 2 {
-		fmt.Printf("  %10s", fmt.Sprintf("%d col(s)", touch))
+		textf("  %10s", fmt.Sprintf("%d col(s)", touch))
 	}
-	fmt.Printf("  %8s\n", "VMAs")
+	textf("  %8s\n", "VMAs")
 	for _, strat := range strats {
-		db := openLoaded(strat)
-		fmt.Printf("%-10s", strat)
+		db := openLoaded(strat, *flagCols)
+		textf("%-10s", strat)
 		for touch := 1; touch <= *flagCols; touch *= 2 {
 			before := db.Stats()
 			r, err := db.Begin(ankerdb.OLAP)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "\nankerbench: %v\n", err)
-				os.Exit(1)
+				fail("%v", err)
 			}
 			for c := 0; c < touch; c++ {
 				if _, err := r.Get("bench", colName(c), 0); err != nil {
-					fmt.Fprintf(os.Stderr, "\nankerbench: %v\n", err)
-					os.Exit(1)
+					fail("%v", err)
 				}
 			}
 			after := db.Stats()
-			r.Commit()
+			if err := r.Commit(); err != nil {
+				fail("%v", err)
+			}
 			// Rotate the generation so the next round snapshots afresh.
-			w, _ := db.Begin(ankerdb.OLTP)
-			w.Set("bench", "c0", 0, 1)
-			w.Commit()
-			fmt.Printf("  %10v", after.SnapshotCreateTime-before.SnapshotCreateTime)
+			w, err := db.Begin(ankerdb.OLTP)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := w.Set("bench", "c0", 0, 1); err != nil {
+				fail("%v", err)
+			}
+			if err := w.Commit(); err != nil {
+				fail("%v", err)
+			}
+			elapsed := after.SnapshotCreateTime - before.SnapshotCreateTime
+			textf("  %10v", elapsed)
+			emit(record{Bench: "create", Strategy: string(strat), Shards: -1, Writers: -1, Scanners: -1,
+				Touch: touch, Metric: "snapshot_create_ns", Value: float64(elapsed.Nanoseconds())})
 		}
 		st := db.Stats()
-		fmt.Printf("  %8d\n", st.NumVMAs)
-		db.Close()
+		textf("  %8d\n", st.NumVMAs)
+		emit(record{Bench: "create", Strategy: string(strat), Shards: -1, Writers: -1, Scanners: -1,
+			Touch: -1, Metric: "vmas", Value: float64(st.NumVMAs)})
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
+		}
 	}
-	fmt.Println()
+	textf("\n")
 }
 
 // benchWrite measures the cost absorbed by writes landing after a
 // snapshot: kernel COW page copies versus the manual user-space COW
 // path of rewiring (Figure 5b).
 func benchWrite(strats []ankerdb.SnapshotStrategy) {
-	fmt.Printf("== write-after-snapshot cost (%d writes across %d rows) ==\n", *flagWrites, *flagRows)
-	fmt.Printf("%-10s  %12s  %10s  %10s  %12s\n",
+	textf("== write-after-snapshot cost (%d writes across %d rows) ==\n", *flagWrites, *flagRows)
+	textf("%-10s  %12s  %10s  %10s  %12s\n",
 		"strategy", "commit time", "COW breaks", "sig hooks", "words copied")
 	for _, strat := range strats {
-		db := openLoaded(strat)
+		db := openLoaded(strat, *flagCols)
 		// Pin a snapshot of every column so each write is a first write
 		// against a COW-shared or write-protected page.
-		r, _ := db.Begin(ankerdb.OLAP)
+		r, err := db.Begin(ankerdb.OLAP)
+		if err != nil {
+			fail("%v", err)
+		}
 		for c := 0; c < *flagCols; c++ {
-			r.Get("bench", colName(c), 0)
+			if _, err := r.Get("bench", colName(c), 0); err != nil {
+				fail("%v", err)
+			}
 		}
 		before := db.Stats()
 		start := time.Now()
@@ -162,93 +309,272 @@ func benchWrite(strats []ankerdb.SnapshotStrategy) {
 		if stride == 0 {
 			stride = 1
 		}
-		w, _ := db.Begin(ankerdb.OLTP)
+		w, err := db.Begin(ankerdb.OLTP)
+		if err != nil {
+			fail("%v", err)
+		}
 		for i := 0; i < *flagWrites; i++ {
-			w.Set("bench", "c0", (i*stride)%*flagRows, int64(i))
+			if err := w.Set("bench", "c0", (i*stride)%*flagRows, int64(i)); err != nil {
+				fail("%v", err)
+			}
 		}
 		if err := w.Commit(); err != nil {
-			fmt.Fprintf(os.Stderr, "ankerbench: commit: %v\n", err)
-			os.Exit(1)
+			fail("commit: %v", err)
 		}
 		elapsed := time.Since(start)
 		after := db.Stats()
-		r.Commit()
-		fmt.Printf("%-10s  %12v  %10d  %10d  %12d\n", strat, elapsed,
+		if err := r.Commit(); err != nil {
+			fail("%v", err)
+		}
+		textf("%-10s  %12v  %10d  %10d  %12d\n", strat, elapsed,
 			after.VM.COWBreaks-before.VM.COWBreaks,
 			after.VM.SignalHooks-before.VM.SignalHooks,
 			after.VM.WordsCopied-before.VM.WordsCopied)
-		db.Close()
+		base := record{Bench: "write", Strategy: string(strat), Shards: -1, Writers: -1, Scanners: -1, Touch: -1}
+		emitAll(base, []metric{
+			{"commit_ns", float64(elapsed.Nanoseconds())},
+			{"cow_breaks", float64(after.VM.COWBreaks - before.VM.COWBreaks)},
+			{"sig_hooks", float64(after.VM.SignalHooks - before.VM.SignalHooks)},
+			{"words_copied", float64(after.VM.WordsCopied - before.VM.WordsCopied)},
+		})
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
+		}
 	}
-	fmt.Println()
+	textf("\n")
 }
 
 // benchMixed runs the paper's mixed workload: OLTP writers commit
 // random writes while OLAP scanners aggregate snapshotted columns.
 func benchMixed(strats []ankerdb.SnapshotStrategy) {
-	fmt.Printf("== mixed workload (%d writers, %d scanners, refresh every %d commits, %v) ==\n",
+	textf("== mixed workload (%d writers, %d scanners, refresh every %d commits, %v) ==\n",
 		*flagWriters, *flagScanners, *flagRefresh, *flagDur)
-	fmt.Printf("%-10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
+	textf("%-10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
 		"strategy", "commits/s", "scans/s", "aborts", "snapshots", "staleness", "COW breaks")
 	for _, strat := range strats {
-		db := openLoaded(strat, ankerdb.WithSnapshotRefresh(*flagRefresh))
-		var stop atomic.Bool
-		var commits, scans, aborts, staleness, staleSamples atomic.Uint64
-		var wg sync.WaitGroup
-		for i := 0; i < *flagWriters; i++ {
-			wg.Add(1)
-			go func(seed int64) {
-				defer wg.Done()
-				rnd := rand.New(rand.NewSource(seed))
-				for !stop.Load() {
-					w, err := db.Begin(ankerdb.OLTP)
-					if err != nil {
-						return
-					}
-					col := colName(rnd.Intn(*flagCols))
-					for k := 0; k < 8; k++ {
-						w.Set("bench", col, rnd.Intn(*flagRows), rnd.Int63n(1000))
-					}
-					if w.Commit() == nil {
-						commits.Add(1)
-					} else {
-						aborts.Add(1)
-					}
-				}
-			}(int64(i) + 1)
-		}
-		for i := 0; i < *flagScanners; i++ {
-			wg.Add(1)
-			go func(seed int64) {
-				defer wg.Done()
-				rnd := rand.New(rand.NewSource(-seed))
-				for !stop.Load() {
-					r, err := db.Begin(ankerdb.OLAP)
-					if err != nil {
-						return
-					}
-					staleness.Add(r.Staleness())
-					staleSamples.Add(1)
-					if _, err := r.Aggregate("bench", colName(rnd.Intn(*flagCols)), ankerdb.Sum); err != nil {
-						r.Abort()
-						return
-					}
-					r.Commit()
-					scans.Add(1)
-				}
-			}(int64(i) + 1)
-		}
-		time.Sleep(*flagDur)
-		stop.Store(true)
-		wg.Wait()
+		db := openLoaded(strat, *flagCols, ankerdb.WithSnapshotRefresh(*flagRefresh))
+		commits, scans, aborts, avgStale := runMixed(db, *flagWriters, *flagScanners, *flagDur)
 		st := db.Stats()
 		secs := flagDur.Seconds()
-		avgStale := float64(0)
-		if n := staleSamples.Load(); n > 0 {
-			avgStale = float64(staleness.Load()) / float64(n)
+		textf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
+			float64(commits)/secs, float64(scans)/secs,
+			aborts, st.SnapshotsCreated, avgStale, st.VM.COWBreaks)
+		base := record{Bench: "mixed", Strategy: string(strat), Shards: st.CommitShards,
+			Writers: *flagWriters, Scanners: *flagScanners, Touch: -1}
+		emitAll(base, []metric{
+			{"commits_per_sec", float64(commits) / secs},
+			{"scans_per_sec", float64(scans) / secs},
+			{"aborts", float64(aborts)},
+			{"snapshots", float64(st.SnapshotsCreated)},
+			{"staleness", avgStale},
+			{"cow_breaks", float64(st.VM.COWBreaks)},
+		})
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
 		}
-		fmt.Printf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
-			float64(commits.Load())/secs, float64(scans.Load())/secs,
-			aborts.Load(), st.SnapshotsCreated, avgStale, st.VM.COWBreaks)
-		db.Close()
 	}
+	textf("\n")
+}
+
+// runMixed drives writers and scanners against db for dur and returns
+// the committed/scanned/aborted counts and average scanner staleness.
+func runMixed(db *ankerdb.DB, writers, scanners int, dur time.Duration) (commits, scans, aborts uint64, avgStale float64) {
+	var stop atomic.Bool
+	var cCommits, cScans, cAborts, staleness, staleSamples atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					return
+				}
+				col := colName(rnd.Intn(*flagCols))
+				for k := 0; k < 8; k++ {
+					if err := w.Set("bench", col, rnd.Intn(*flagRows), rnd.Int63n(1000)); err != nil {
+						return
+					}
+				}
+				if w.Commit() == nil {
+					cCommits.Add(1)
+				} else {
+					cAborts.Add(1)
+				}
+			}
+		}(int64(i) + 1)
+	}
+	for i := 0; i < scanners; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(-seed))
+			for !stop.Load() {
+				r, err := db.Begin(ankerdb.OLAP)
+				if err != nil {
+					return
+				}
+				staleness.Add(r.Staleness())
+				staleSamples.Add(1)
+				if _, err := r.Aggregate("bench", colName(rnd.Intn(*flagCols)), ankerdb.Sum); err != nil {
+					_ = r.Abort()
+					return
+				}
+				if err := r.Commit(); err != nil {
+					return
+				}
+				cScans.Add(1)
+			}
+		}(int64(i) + 1)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if n := staleSamples.Load(); n > 0 {
+		avgStale = float64(staleness.Load()) / float64(n)
+	}
+	return cCommits.Load(), cScans.Load(), cAborts.Load(), avgStale
+}
+
+// benchCommit is the Figure 11 experiment: pure OLTP commit throughput
+// as the writer count grows, swept across commit shard counts. Writers
+// have disjoint column footprints (writer i owns column i), so with
+// enough shards their commits validate and install in parallel;
+// snapshot refresh is disabled to isolate the commit pipeline.
+func benchCommit() {
+	shardCounts := parseShards()
+	writerCounts := powersOfTwoUpTo(*flagWriters)
+	cols := *flagCols
+	if cols < *flagWriters {
+		cols = *flagWriters
+	}
+
+	// results[shards][writers] = commits/s
+	results := make(map[int]map[int]float64)
+	for _, shards := range shardCounts {
+		results[shards] = map[int]float64{}
+		for _, writers := range writerCounts {
+			db := openLoaded(ankerdb.VMSnap, cols,
+				ankerdb.WithCommitShards(shards),
+				ankerdb.WithSnapshotRefresh(0))
+			st0 := db.Stats()
+			commits, aborts := runCommitters(db, writers, *flagDur)
+			st := db.Stats()
+			if err := db.Close(); err != nil {
+				fail("close: %v", err)
+			}
+			perSec := float64(commits) / flagDur.Seconds()
+			results[shards][writers] = perSec
+			meanBatch := 0.0
+			if batches := st.CommitBatches - st0.CommitBatches; batches > 0 {
+				meanBatch = float64(st.Commits-st0.Commits) / float64(batches)
+			}
+			base := record{Bench: "commit", Strategy: string(ankerdb.VMSnap),
+				Shards: st.CommitShards, Writers: writers, Scanners: 0, Touch: -1}
+			emitAll(base, []metric{
+				{"commits_per_sec", perSec},
+				{"aborts", float64(aborts)},
+				{"commit_batches", float64(st.CommitBatches)},
+				{"mean_batch_size", meanBatch},
+				{"cross_shard_commits", float64(st.CommitShardConflicts)},
+				{"recent_list_records", float64(st.RecentCommitRecords)},
+			})
+		}
+	}
+
+	textf("== commit scaling (Figure 11): 8 writes/txn, disjoint columns, snapshots off, %v/point ==\n", *flagDur)
+	textf("%-8s", "writers")
+	for _, shards := range shardCounts {
+		textf("  %14s", fmt.Sprintf("shards=%d", shardLabel(shards)))
+	}
+	if len(shardCounts) >= 2 {
+		textf("  %8s", "speedup")
+	}
+	textf("\n")
+	for _, writers := range writerCounts {
+		textf("%-8d", writers)
+		for _, shards := range shardCounts {
+			textf("  %14.0f", results[shards][writers])
+		}
+		if len(shardCounts) >= 2 {
+			lo := results[shardCounts[0]][writers]
+			hi := results[shardCounts[len(shardCounts)-1]][writers]
+			if lo > 0 {
+				textf("  %7.2fx", hi/lo)
+			}
+		}
+		textf("\n")
+	}
+	textf("\n")
+}
+
+// runCommitters drives writers committing 8-row write sets into their
+// own columns for dur.
+func runCommitters(db *ankerdb.DB, writers int, dur time.Duration) (commits, aborts uint64) {
+	var stop atomic.Bool
+	var cCommits, cAborts atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(writer int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(writer) + 1))
+			col := colName(writer)
+			for !stop.Load() {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					return
+				}
+				for k := 0; k < 8; k++ {
+					if err := w.Set("bench", col, rnd.Intn(*flagRows), rnd.Int63n(1000)); err != nil {
+						return
+					}
+				}
+				if w.Commit() == nil {
+					cCommits.Add(1)
+				} else {
+					cAborts.Add(1)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return cCommits.Load(), cAborts.Load()
+}
+
+// parseShards parses -shards; 0 entries resolve to GOMAXPROCS at Open
+// time but are labelled with the resolved value in output.
+func parseShards() []int {
+	var out []int
+	for _, s := range strings.Split(*flagShards, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fail("bad -shards entry %q", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fail("-shards is empty")
+	}
+	return out
+}
+
+func shardLabel(n int) int {
+	if n == 0 {
+		return ankerdb.AutoCommitShards()
+	}
+	return n
+}
+
+func powersOfTwoUpTo(n int) []int {
+	var out []int
+	for w := 1; w < n; w *= 2 {
+		out = append(out, w)
+	}
+	out = append(out, n)
+	return out
 }

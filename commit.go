@@ -1,0 +1,340 @@
+package ankerdb
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/storage"
+)
+
+// The commit pipeline replaces the paper's single serialized commit
+// phase (the Figure 11 scaling ceiling) with a sharded, batched
+// group-commit design:
+//
+//   - Columns are partitioned onto commit shards by a hash of their
+//     (table, column) address. Each shard owns a commit lock and the
+//     recent-commits list used for precision-locking validation of the
+//     columns routed to it, so transactions with disjoint footprints
+//     validate and install in parallel.
+//   - Same-shard commits are batched: committers enqueue and the first
+//     to take the shard lock drains the queue, validates the whole
+//     batch under one lock acquisition, and stamps it with consecutive
+//     commit timestamps from a single oracle block allocation.
+//   - Transactions whose footprint spans multiple shards take every
+//     involved shard lock in ascending shard order (deadlock-free) and
+//     commit alone.
+//
+// Correctness relies on two properties. First, the oracle's completion
+// watermark only advances over contiguous timestamp prefixes, so a
+// commit never becomes visible to new transactions before all
+// earlier-stamped commits are also visible, even though shards
+// materialize out of order. Second, a transaction's validation holds
+// the locks of every shard its reads are routed to through its own
+// timestamp allocation, so every conflicting earlier-stamped commit is
+// already in that shard's recent list when validation runs, and every
+// later-stamped commit will in turn see this transaction's record.
+
+// commitShard is one partition of the commit pipeline.
+type commitShard struct {
+	// mu is the shard commit lock: it serializes validation, timestamp
+	// allocation, and version-chain installation for the columns routed
+	// to this shard, and snapshot capture of those columns.
+	mu sync.Mutex
+
+	// recent holds the commit records of transactions that wrote this
+	// shard's columns, for precision-locking validation.
+	recent *mvcc.RecentList
+
+	qmu   sync.Mutex
+	queue []*commitReq
+}
+
+// commitReq is one transaction waiting in a shard's group-commit queue.
+type commitReq struct {
+	st   *mvcc.TxnState
+	ts   uint64     // commit timestamp, set by the leader before the ack
+	errc chan error // buffered; receives the commit outcome exactly once
+}
+
+func newCommitShards(n int) []*commitShard {
+	shards := make([]*commitShard, n)
+	for i := range shards {
+		shards[i] = &commitShard{recent: mvcc.NewRecentList()}
+	}
+	return shards
+}
+
+// shardOf routes a column to its commit shard.
+func (db *DB) shardOf(id mvcc.ColumnID) int {
+	return storage.ShardOf(id.Table, id.Col, len(db.shards))
+}
+
+// txnShards returns the sorted, distinct shard ids of t's footprint
+// (written, point-read, and predicate columns).
+func (db *DB) txnShards(t *mvcc.TxnState) []int {
+	if len(db.shards) == 1 {
+		return []int{0}
+	}
+	marks := make([]bool, len(db.shards))
+	t.EachColumn(func(id mvcc.ColumnID) { marks[db.shardOf(id)] = true })
+	ids := make([]int, 0, 2)
+	for i, m := range marks {
+		if m {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// commit runs the commit phase for t's staged writes: precision-locking
+// validation against the recent commits of every shard t touched, then
+// in-place materialisation with displaced versions pushed onto the
+// column version chains (write timestamp strictly before data, which
+// the lock-free read protocol in column.valueAt relies on).
+func (db *DB) commit(t *mvcc.TxnState) error {
+	ids := db.txnShards(t)
+	if len(ids) == 1 {
+		return db.commitGrouped(db.shards[ids[0]], t)
+	}
+	db.st.crossShard.Add(1)
+	return db.commitCrossShard(ids, t)
+}
+
+// commitGrouped commits a single-shard transaction through the shard's
+// group-commit queue. Every committer enqueues its request and then
+// takes the shard lock; whichever committer gets the lock first drains
+// the queue and processes the whole batch, so requests that pile up
+// behind a busy shard are validated and stamped together. A committer
+// whose request was processed by an earlier leader drains whatever
+// newer requests queued meanwhile (possibly none) and then picks up its
+// own result.
+func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState) error {
+	req := &commitReq{st: t, errc: make(chan error, 1)}
+	s.qmu.Lock()
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
+
+	// Fast path: an earlier leader may already have drained us while we
+	// were enqueueing — skip the lock handoff entirely then. Requests
+	// still queued are always drained eventually because their own
+	// enqueuer is in the lock queue below.
+	select {
+	case err := <-req.errc:
+		return db.finishGrouped(req, err)
+	default:
+	}
+
+	s.mu.Lock()
+	s.qmu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	if len(batch) > 0 {
+		db.runBatch(s, batch)
+	}
+	s.mu.Unlock()
+	return db.finishGrouped(req, <-req.errc)
+}
+
+// finishGrouped completes a group-committed request after its result
+// arrived. On success it blocks, outside every shard lock, until the
+// completion watermark covers the request's timestamp, so a
+// transaction beginning after Commit returns is guaranteed to read its
+// writes (read-your-own-writes across out-of-order shard completion).
+func (db *DB) finishGrouped(req *commitReq, err error) error {
+	if err == nil {
+		db.oracle.WaitCompleted(req.ts)
+	}
+	return err
+}
+
+// runBatch validates, stamps, and installs a batch of same-shard
+// commits under the shard lock (held by the caller): one recent-list
+// lock acquisition per validation, one oracle block allocation for the
+// whole batch. Transactions that fail validation complete their
+// timestamp slot as a no-op so the completion watermark stays
+// contiguous.
+func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
+	db.st.commitBatches.Add(1)
+	db.st.groupSizes[groupSizeBucket(len(batch))].Add(1)
+
+	first := db.oracle.NextCommitTSBlock(len(batch))
+	committed := 0
+	for i, req := range batch {
+		ts := first + uint64(i)
+		req.ts = ts
+		// Read-free transactions cannot be invalidated and skip
+		// validation (HasReads). Earlier transactions of this batch
+		// have already added their records, so intra-batch conflicts
+		// are caught here too.
+		if conflictTS := validate(s, req.st); conflictTS != 0 {
+			db.st.conflicts.Add(1)
+			db.oracle.CompleteNoop(ts)
+			req.errc <- fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
+			continue
+		}
+		s.recent.Add(db.install(req.st, ts))
+		db.oracle.Complete(ts)
+		committed++
+		req.errc <- nil
+	}
+	if committed > 0 {
+		db.maintainShards([]*commitShard{s}, uint64(committed))
+	}
+}
+
+// commitCrossShard commits a transaction whose footprint spans several
+// shards: all involved shard locks are taken in ascending shard order
+// (deadlock-free by global ordering), the transaction validates against
+// each shard's recent commits, and its record is split per shard.
+func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
+	shards := make([]*commitShard, len(ids))
+	for i, id := range ids {
+		shards[i] = db.shards[id]
+		shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			shards[i].mu.Unlock()
+		}
+	}
+
+	db.st.commitBatches.Add(1)
+	db.st.groupSizes[groupSizeBucket(1)].Add(1)
+
+	for _, s := range shards {
+		if conflictTS := validate(s, t); conflictTS != 0 {
+			db.st.conflicts.Add(1)
+			unlock()
+			return fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
+		}
+	}
+	ts := db.oracle.NextCommitTSBlock(1)
+	rec := db.install(t, ts)
+	for i, id := range ids {
+		var writes []mvcc.WriteEntry
+		for _, e := range rec.Writes {
+			if db.shardOf(e.Col) == id {
+				writes = append(writes, e)
+			}
+		}
+		if len(writes) > 0 {
+			shards[i].recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes})
+		}
+	}
+	db.oracle.Complete(ts)
+	db.maintainShards(shards, 1)
+	unlock()
+	// See commitGrouped: visibility before Commit returns.
+	db.oracle.WaitCompleted(ts)
+	return nil
+}
+
+// install materialises t's staged writes at commit timestamp ts and
+// returns the commit record. The caller holds the commit locks of every
+// shard the writes are routed to. The write timestamp is stored
+// strictly before the data word, the ordering the lock-free read
+// protocol and snapshot repair depend on.
+func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
+	writes := make([]mvcc.WriteEntry, 0, t.NumWrites())
+	t.EachWrite(func(id mvcc.ColumnID, row int, val int64) {
+		c := db.columnByID(id)
+		old := c.data.Get(row)
+		oldWTS := c.wts.GetU(row)
+		c.chain.Push(row, old, oldWTS)
+		c.meta.Note(row)
+		c.wts.SetU(row, ts)
+		c.data.Set(row, val)
+		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
+	})
+	return mvcc.CommitRecord{TS: ts, Writes: writes}
+}
+
+// maintainShards counts the batch's committed transactions and runs
+// the periodic shard-local maintenance: recent-list pruning every
+// recentPruneEvery commits and version-chain vacuum every vacuumEvery
+// commits, applied to the shards whose locks the caller holds. Other
+// shards prune when they next commit (or on an explicit Vacuum).
+func (db *DB) maintainShards(shards []*commitShard, added uint64) {
+	n := db.st.commits.Add(added)
+	prune := n/recentPruneEvery != (n-added)/recentPruneEvery
+	vacuum := n/vacuumEvery != (n-added)/vacuumEvery
+	if !prune && !vacuum {
+		return
+	}
+	floor := db.gcFloor()
+	for _, s := range shards {
+		if prune {
+			s.recent.PruneBelow(floor)
+		}
+	}
+	if vacuum {
+		var removed int64
+		for _, s := range shards {
+			removed += db.vacuumShardChains(s, floor)
+		}
+		db.st.vacuums.Add(1)
+		db.st.versionsGCed.Add(removed)
+	}
+}
+
+// vacuumShardChains prunes the version chains of every column routed to
+// shard s below floor. The caller holds s's commit lock, which excludes
+// concurrent materialisation into those columns (pruning between a
+// commit's chain push and its timestamp store could reap a version a
+// concurrent reader still needs).
+func (db *DB) vacuumShardChains(s *commitShard, floor uint64) int64 {
+	var removed int64
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
+		for _, c := range t.cols {
+			if db.shards[db.shardOf(c.id)] != s {
+				continue
+			}
+			removed += c.chain.Prune(floor, func(row int) uint64 { return c.wts.GetU(row) })
+		}
+	}
+	return removed
+}
+
+// lockAllShards takes every shard commit lock in ascending order,
+// stopping the whole commit pipeline. Used by the explicit Vacuum.
+func (db *DB) lockAllShards() {
+	for _, s := range db.shards {
+		s.mu.Lock()
+	}
+}
+
+func (db *DB) unlockAllShards() {
+	for i := len(db.shards) - 1; i >= 0; i-- {
+		db.shards[i].mu.Unlock()
+	}
+}
+
+// validate runs precision-locking validation of t against s's recent
+// commits. Transactions with an empty read set skip the walk: blind
+// writes serialize at their commit timestamp and cannot have read
+// stale data. This matters under the sharded pipeline, where the
+// visibility watermark (and with it begin timestamps) can briefly lag
+// behind the newest assigned timestamps, widening the window of
+// records Validate would otherwise scan.
+func validate(s *commitShard, t *mvcc.TxnState) uint64 {
+	if !t.HasReads() {
+		return 0
+	}
+	return s.recent.Validate(t)
+}
+
+// groupSizeBucket maps a batch size to its histogram bucket: 1, 2, ≤4,
+// ≤8, ≤16, ≤32, ≤64, >64.
+func groupSizeBucket(n int) int {
+	b := bits.Len(uint(n - 1))
+	if b >= len(GroupCommitHist{}.Buckets) {
+		b = len(GroupCommitHist{}.Buckets) - 1
+	}
+	return b
+}

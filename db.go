@@ -30,13 +30,14 @@ type DB struct {
 
 	oracle *mvcc.Oracle
 	activ  *mvcc.ActiveSet
-	recent *mvcc.RecentList
 	snaps  *snapManager
 
-	// commitMu serialises commit processing (the paper's partially
-	// sequential commit phase, Section 5.7) and snapshot creation, so
-	// snapshots always capture a transaction-consistent state.
-	commitMu sync.Mutex
+	// shards partition commit processing by column (see commit.go): the
+	// paper's partially sequential commit phase (Section 5.7) becomes
+	// per-shard, so disjoint-footprint transactions commit in parallel.
+	// With one shard this degenerates to the paper's fully serialized
+	// commit phase.
+	shards []*commitShard
 
 	mu      sync.RWMutex
 	tables  map[string]*table
@@ -48,14 +49,17 @@ type DB struct {
 }
 
 type dbCounters struct {
-	commits      atomic.Uint64
-	emptyCommits atomic.Uint64
-	aborts       atomic.Uint64
-	conflicts    atomic.Uint64
-	oltpBegun    atomic.Uint64
-	olapBegun    atomic.Uint64
-	vacuums      atomic.Uint64
-	versionsGCed atomic.Int64
+	commits       atomic.Uint64 // counted in maintainShards, drives periodic maintenance
+	emptyCommits  atomic.Uint64
+	aborts        atomic.Uint64
+	conflicts     atomic.Uint64
+	oltpBegun     atomic.Uint64
+	olapBegun     atomic.Uint64
+	vacuums       atomic.Uint64
+	versionsGCed  atomic.Int64
+	commitBatches atomic.Uint64
+	crossShard    atomic.Uint64
+	groupSizes    [8]atomic.Uint64
 }
 
 // table pairs the storage-layer arrays with the per-column MVCC state
@@ -107,7 +111,7 @@ func Open(opts ...Option) (*DB, error) {
 		alloc:  columnAlloc(proc, strat),
 		oracle: &mvcc.Oracle{},
 		activ:  mvcc.NewActiveSet(),
-		recent: mvcc.NewRecentList(),
+		shards: newCommitShards(cfg.resolveCommitShards()),
 		tables: map[string]*table{},
 	}
 	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
@@ -264,44 +268,6 @@ func (db *DB) LoadStrings(tab, col string, vals []string) error {
 	return db.Load(tab, col, codes)
 }
 
-// commit runs the serialised commit phase for t's staged writes:
-// precision-locking validation against recently committed transactions,
-// then in-place materialisation with displaced versions pushed onto the
-// column version chains (write timestamp strictly before data, which
-// the lock-free read protocol in column.valueAt relies on).
-func (db *DB) commit(t *mvcc.TxnState) error {
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
-
-	if conflictTS := db.recent.Validate(t); conflictTS != 0 {
-		db.st.conflicts.Add(1)
-		return fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
-	}
-	ts := db.oracle.NextCommitTS()
-	writes := make([]mvcc.WriteEntry, 0, t.NumWrites())
-	t.EachWrite(func(id mvcc.ColumnID, row int, val int64) {
-		c := db.columnByID(id)
-		old := c.data.Get(row)
-		oldWTS := c.wts.GetU(row)
-		c.chain.Push(row, old, oldWTS)
-		c.meta.Note(row)
-		c.wts.SetU(row, ts)
-		c.data.Set(row, val)
-		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
-	})
-	db.recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes})
-	db.oracle.Complete(ts)
-	n := db.st.commits.Add(1)
-
-	if n%recentPruneEvery == 0 {
-		db.recent.PruneBelow(db.gcFloor())
-	}
-	if n%vacuumEvery == 0 {
-		db.vacuumChains()
-	}
-	return nil
-}
-
 // gcFloor returns the oldest timestamp any state reader may still need:
 // the minimum over running OLTP begin timestamps and pinned snapshot
 // generation timestamps.
@@ -313,34 +279,25 @@ func (db *DB) gcFloor() uint64 {
 	return floor
 }
 
-// vacuumChains garbage-collects version chains below the GC floor.
-func (db *DB) vacuumChains() int64 {
+// Vacuum garbage-collects recently-committed records and version
+// chains that no running transaction or pinned snapshot can still see,
+// returning the number of version nodes removed. Shard-local versions
+// of both passes also run automatically every few thousand commits.
+// It serialises with commit processing by holding every shard commit
+// lock: pruning between a commit's chain push and its timestamp store
+// could reap a version a concurrent reader still needs.
+func (db *DB) Vacuum() int64 {
+	db.lockAllShards()
+	defer db.unlockAllShards()
 	floor := db.gcFloor()
 	var removed int64
-	db.mu.RLock()
-	tabs := append([]*table(nil), db.tabList...)
-	db.mu.RUnlock()
-	for _, t := range tabs {
-		for _, c := range t.cols {
-			removed += c.chain.Prune(floor, func(row int) uint64 { return c.wts.GetU(row) })
-		}
+	for _, s := range db.shards {
+		s.recent.PruneBelow(floor)
+		removed += db.vacuumShardChains(s, floor)
 	}
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
 	return removed
-}
-
-// Vacuum garbage-collects recently-committed records and version
-// chains that no running transaction or pinned snapshot can still see,
-// returning the number of version nodes removed. It also runs
-// automatically every few thousand commits. It serialises with commit
-// processing: pruning between a commit's chain push and its timestamp
-// store could reap a version a concurrent reader still needs.
-func (db *DB) Vacuum() int64 {
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
-	db.recent.PruneBelow(db.gcFloor())
-	return db.vacuumChains()
 }
 
 // Close releases the manager's pin on the current snapshot generation

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestOracleBeginTracksCompleted(t *testing.T) {
@@ -25,6 +26,155 @@ func TestOracleBeginTracksCompleted(t *testing.T) {
 	}
 	if o.Completed() != 1 {
 		t.Fatal("completed mismatch")
+	}
+}
+
+func TestOracleBlockAllocation(t *testing.T) {
+	var o Oracle
+	first := o.NextCommitTSBlock(4)
+	if first != 1 {
+		t.Fatalf("first block starts at %d, want 1", first)
+	}
+	if next := o.NextCommitTSBlock(3); next != 5 {
+		t.Fatalf("second block starts at %d, want 5", next)
+	}
+	if single := o.NextCommitTS(); single != 8 {
+		t.Fatalf("single allocation after blocks = %d, want 8", single)
+	}
+}
+
+func TestOracleOutOfOrderCompletion(t *testing.T) {
+	var o Oracle
+	var fired []uint64
+	o.SetCompleteHook(func(ts uint64) { fired = append(fired, ts) })
+	if first := o.NextCommitTSBlock(5); first != 1 {
+		t.Fatalf("block starts at %d, want 1", first)
+	}
+	// Complete 3, 2, 5 first: the watermark must not move past the
+	// hole at 1, so none of these commits is visible yet.
+	o.Complete(3)
+	o.Complete(2)
+	o.Complete(5)
+	if got := o.Completed(); got != 0 {
+		t.Fatalf("watermark = %d with ts 1 outstanding, want 0", got)
+	}
+	// Completing 1 releases the contiguous prefix 1..3.
+	o.Complete(1)
+	if got := o.Completed(); got != 3 {
+		t.Fatalf("watermark = %d after completing 1, want 3", got)
+	}
+	// Completing 4 releases 4..5.
+	o.Complete(4)
+	if got := o.Completed(); got != 5 {
+		t.Fatalf("watermark = %d after completing 4, want 5", got)
+	}
+	want := []uint64{1, 2, 3, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("hook fired for %v, want %v", fired, want)
+	}
+	for i, ts := range want {
+		if fired[i] != ts {
+			t.Fatalf("hook order %v, want %v", fired, want)
+		}
+	}
+	// Double completion is a no-op.
+	o.Complete(2)
+	if got := o.Completed(); got != 5 {
+		t.Fatalf("watermark moved to %d on double completion", got)
+	}
+}
+
+func TestOracleNoopCompletionSkipsHook(t *testing.T) {
+	var o Oracle
+	var fired []uint64
+	o.SetCompleteHook(func(ts uint64) { fired = append(fired, ts) })
+	if first := o.NextCommitTSBlock(4); first != 1 {
+		t.Fatalf("block starts at %d", first)
+	}
+	// 2 is a validation-failure slot completed out of order: it must
+	// advance the watermark when 1 lands but never fire the hook.
+	o.CompleteNoop(2)
+	o.Complete(3)
+	o.Complete(1)
+	o.CompleteNoop(4)
+	if got := o.Completed(); got != 4 {
+		t.Fatalf("watermark = %d, want 4", got)
+	}
+	want := []uint64{1, 3}
+	if len(fired) != len(want) || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("hook fired for %v, want %v", fired, want)
+	}
+}
+
+func TestOracleWaitCompleted(t *testing.T) {
+	var o Oracle
+	if first := o.NextCommitTSBlock(3); first != 1 {
+		t.Fatalf("block starts at %d", first)
+	}
+	o.Complete(1)
+	o.WaitCompleted(1) // already complete: returns immediately
+	done := make(chan struct{})
+	go func() {
+		o.WaitCompleted(3)
+		close(done)
+	}()
+	o.Complete(3) // parks above the hole at 2
+	select {
+	case <-done:
+		t.Fatal("WaitCompleted(3) returned with ts 2 outstanding")
+	case <-time.After(10 * time.Millisecond):
+	}
+	o.Complete(2)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitCompleted(3) did not return after the hole drained")
+	}
+}
+
+func TestOracleConcurrentOutOfOrderCompletion(t *testing.T) {
+	var o Oracle
+	const goroutines, perG = 8, 500
+	first := o.NextCommitTSBlock(goroutines * perG)
+	if first != 1 {
+		t.Fatalf("block starts at %d", first)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Interleaved stripes complete out of order by design.
+			for i := 0; i < perG; i++ {
+				o.Complete(uint64(g + i*goroutines + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := o.Completed(); got != goroutines*perG {
+		t.Fatalf("watermark = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestTxnStateEachColumn(t *testing.T) {
+	st := NewTxnState(1, 0, OLTP)
+	a := ColumnID{Table: 0, Col: 0}
+	b := ColumnID{Table: 0, Col: 1}
+	c := ColumnID{Table: 2, Col: 0}
+	st.StageWrite(a, 7, 1)
+	st.StageWrite(a, 9, 2)
+	st.NotePointRead(b, 3)
+	st.NotePredicate(Predicate{Col: c, Lo: 0, Hi: 10})
+	st.NotePredicate(Predicate{Col: a, Lo: 5, Hi: 6})
+	seen := map[ColumnID]int{}
+	st.EachColumn(func(id ColumnID) { seen[id]++ })
+	for _, id := range []ColumnID{a, b, c} {
+		if seen[id] != 1 {
+			t.Fatalf("column %v visited %d times, want 1 (all: %v)", id, seen[id], seen)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("visited %d distinct columns, want 3: %v", len(seen), seen)
 	}
 }
 

@@ -6,41 +6,133 @@
 // validation that upgrades snapshot isolation to full serializability.
 package mvcc
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Oracle issues transaction timestamps. Begin timestamps equal the last
-// *completed* commit timestamp: a commit's writes become visible to new
-// transactions only after its materialization finished, which makes
-// multi-write commits atomically visible (the paper logs the start and
-// end of the commit phase for the same purpose, Section 2.2.1 step 3).
+// *contiguously completed* commit timestamp: a commit's writes become
+// visible to new transactions only after its materialization finished,
+// which makes multi-write commits atomically visible (the paper logs
+// the start and end of the commit phase for the same purpose, Section
+// 2.2.1 step 3).
+//
+// The sharded commit pipeline allocates timestamps in blocks (one
+// allocation per commit batch) and materializes different shards in
+// parallel, so completions arrive out of order. The oracle tolerates
+// that: Complete may be called in any order, and the published
+// completed timestamp is the watermark below which every assigned
+// timestamp has completed. Holes never persist because every assigned
+// timestamp is eventually completed (validation failures complete
+// their slot as a no-op).
 type Oracle struct {
 	next      atomic.Uint64 // last assigned commit timestamp
-	completed atomic.Uint64 // last commit whose materialization finished
-	hook      atomic.Value  // func(ts uint64), called after Complete
+	completed atomic.Uint64 // contiguous completion watermark
+
+	mu      sync.Mutex
+	pending map[uint64]bool // completed above the watermark; true = real commit
+	cond    *sync.Cond      // signals watermark advances to WaitCompleted
+
+	hook atomic.Value // func(ts uint64), called per watermark advance
 }
 
-// Begin returns a begin timestamp: the most recent completed commit.
+// Begin returns a begin timestamp: the most recent commit below which
+// every assigned commit timestamp has completed.
 func (o *Oracle) Begin() uint64 { return o.completed.Load() }
 
-// NextCommitTS assigns the next commit timestamp. Callers serialise
-// commit processing (the engine's commit mutex), so timestamps complete
-// in assignment order.
-func (o *Oracle) NextCommitTS() uint64 { return o.next.Add(1) }
+// NextCommitTS assigns the next commit timestamp. Equivalent to
+// NextCommitTSBlock(1).
+func (o *Oracle) NextCommitTS() uint64 { return o.NextCommitTSBlock(1) }
 
-// SetCompleteHook registers fn to run after every Complete, inside the
-// commit critical section. The snapshot lifecycle manager uses it to
-// trigger snapshot refresh every n commits, so fn must be cheap and must
-// not take locks that commit processing can wait on.
-func (o *Oracle) SetCompleteHook(fn func(ts uint64)) { o.hook.Store(fn) }
-
-// Complete publishes ts as the newest completed commit. Must be called
-// in commit-timestamp order (guaranteed by the commit mutex).
-func (o *Oracle) Complete(ts uint64) {
-	o.completed.Store(ts)
-	if fn, ok := o.hook.Load().(func(ts uint64)); ok && fn != nil {
-		fn(ts)
-	}
+// NextCommitTSBlock assigns n consecutive commit timestamps in one
+// atomic allocation and returns the first; the block is [first,
+// first+n). Group-commit leaders use it to stamp a whole batch with
+// one oracle interaction. Every assigned timestamp must eventually be
+// passed to Complete, aborted slots included, or the completion
+// watermark stalls.
+func (o *Oracle) NextCommitTSBlock(n int) uint64 {
+	return o.next.Add(uint64(n)) - uint64(n) + 1
 }
 
-// Completed returns the newest completed commit timestamp.
+// SetCompleteHook registers fn to run for every timestamp the
+// completion watermark crosses, in timestamp order, inside the
+// oracle's completion critical section. The snapshot lifecycle manager
+// uses it to trigger snapshot refresh every n commits, so fn must be
+// cheap (atomics only) and must not take locks that commit processing
+// can wait on.
+func (o *Oracle) SetCompleteHook(fn func(ts uint64)) { o.hook.Store(fn) }
+
+// Complete marks ts as materialized. Timestamps may complete in any
+// order; the watermark advances only over contiguous prefixes, so a
+// commit never becomes visible to new transactions before every
+// earlier-stamped commit is also visible.
+func (o *Oracle) Complete(ts uint64) { o.complete(ts, true) }
+
+// CompleteNoop releases the timestamp slot ts without a commit behind
+// it (validation failures in a stamped batch): the watermark advances
+// past it but the complete hook does not fire, so snapshot refresh
+// policies only count real commits.
+func (o *Oracle) CompleteNoop(ts uint64) { o.complete(ts, false) }
+
+func (o *Oracle) complete(ts uint64, real bool) {
+	fn, _ := o.hook.Load().(func(ts uint64))
+	o.mu.Lock()
+	w := o.completed.Load()
+	if ts <= w {
+		o.mu.Unlock()
+		return // double completion: nothing to do
+	}
+	if ts != w+1 {
+		if o.pending == nil {
+			o.pending = map[uint64]bool{}
+		}
+		o.pending[ts] = real
+		o.mu.Unlock()
+		return
+	}
+	for next := ts; ; next++ {
+		// Publish each watermark step before its hook runs, so the
+		// hook (and anyone it signals) observes a completed state that
+		// includes the commit it is being told about.
+		o.completed.Store(next)
+		if real && fn != nil {
+			fn(next)
+		}
+		r, ok := o.pending[next+1]
+		if !ok {
+			break
+		}
+		delete(o.pending, next+1)
+		real = r
+	}
+	if o.cond != nil {
+		o.cond.Broadcast()
+	}
+	o.mu.Unlock()
+}
+
+// WaitCompleted blocks until the completion watermark reaches ts. The
+// commit pipeline calls it outside every shard lock, after
+// materialization, so Commit only returns once the transaction's
+// writes are visible to new transactions (read-your-own-writes). It
+// cannot deadlock: timestamps are allocated only by holders of all the
+// shard locks they need, so every hole below ts drains without waiting
+// on the caller.
+func (o *Oracle) WaitCompleted(ts uint64) {
+	if o.completed.Load() >= ts {
+		return
+	}
+	o.mu.Lock()
+	if o.cond == nil {
+		o.cond = sync.NewCond(&o.mu)
+	}
+	for o.completed.Load() < ts {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+}
+
+// Completed returns the completion watermark: the newest commit
+// timestamp below which all assigned timestamps have materialized.
 func (o *Oracle) Completed() uint64 { return o.completed.Load() }

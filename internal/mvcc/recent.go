@@ -21,8 +21,12 @@ type RecentList struct {
 // NewRecentList returns an empty list.
 func NewRecentList() *RecentList { return &RecentList{} }
 
-// Add appends a committed transaction's record. Records arrive in
-// commit-timestamp order (the commit mutex serialises commits).
+// Add appends a committed transaction's record. Records MUST arrive in
+// commit-timestamp order — Validate's binary search depends on it. The
+// sharded commit pipeline guarantees this per shard list: commit
+// timestamps are only allocated while holding every involved shard's
+// commit lock, and records are added before those locks release, so
+// each shard's insert order matches global timestamp order.
 func (r *RecentList) Add(rec CommitRecord) {
 	r.mu.Lock()
 	r.recs = append(r.recs, rec)

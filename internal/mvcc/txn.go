@@ -127,6 +127,43 @@ func (t *TxnState) NotePointRead(col ColumnID, row int) {
 // NotePredicate records a filtered range for precision locking.
 func (t *TxnState) NotePredicate(p Predicate) { t.preds = append(t.preds, p) }
 
+// HasReads reports whether the transaction recorded any point read or
+// predicate. A transaction with an empty read set cannot be
+// invalidated by concurrent commits — its blind writes serialize at
+// its commit timestamp — so the commit pipeline skips validation
+// entirely for it.
+func (t *TxnState) HasReads() bool {
+	return len(t.pointReads) > 0 || len(t.preds) > 0
+}
+
+// EachColumn visits every distinct column in the transaction's
+// footprint — staged writes, point reads, and predicate ranges — once
+// each. The commit pipeline uses it to route the transaction to the
+// commit shards it must serialize with.
+func (t *TxnState) EachColumn(fn func(col ColumnID)) {
+	// Footprints are a handful of columns; a linear scan over a small
+	// slice beats a map allocation on the per-commit path.
+	seen := make([]ColumnID, 0, 8)
+	visit := func(id ColumnID) {
+		for _, s := range seen {
+			if s == id {
+				return
+			}
+		}
+		seen = append(seen, id)
+		fn(id)
+	}
+	for id := range t.writes {
+		visit(id)
+	}
+	for id := range t.pointReads {
+		visit(id)
+	}
+	for _, p := range t.preds {
+		visit(p.Col)
+	}
+}
+
 // ReadSetSize returns the number of recorded point reads and predicates.
 func (t *TxnState) ReadSetSize() (points, preds int) {
 	for _, m := range t.pointReads {

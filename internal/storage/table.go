@@ -47,6 +47,23 @@ func ColumnBytes(proc *vmem.Process, rows int) uint64 {
 	return (uint64(rows)*phys.WordSize + ps - 1) / ps * ps
 }
 
+// ShardOf maps a (table, column) address onto one of n commit shards.
+// The mix is splitmix64-style so that the consecutive column indices of
+// one table spread across shards instead of clustering: disjoint column
+// footprints commit in parallel even inside a single hot table.
+func ShardOf(table, col, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(table)*0x9E3779B97F4A7C15 + uint64(col)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
 // Table is a fixed-capacity columnar table: per schema column one data
 // array and one parallel write-timestamp array (the per-row commit
 // timestamps MVCC visibility checks read), both individually

@@ -1,6 +1,7 @@
 package ankerdb
 
 import (
+	"runtime"
 	"time"
 
 	"ankerdb/internal/phys"
@@ -39,6 +40,17 @@ type config struct {
 	refreshEvery uint64
 	maxAge       time.Duration
 	schemas      []initialSchema
+	commitShards int // 0 = auto (GOMAXPROCS)
+}
+
+// resolveCommitShards turns the configured shard count into the number
+// of commit shards to build: the auto value follows GOMAXPROCS, the
+// parallelism actually available to the commit pipeline.
+func (c *config) resolveCommitShards() int {
+	if c.commitShards > 0 {
+		return c.commitShards
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func defaultConfig() config {
@@ -93,6 +105,29 @@ func WithSnapshotRefresh(n int) Option {
 func WithSnapshotMaxAge(d time.Duration) Option {
 	return func(c *config) { c.maxAge = d }
 }
+
+// WithCommitShards partitions the commit pipeline into n shards:
+// commit validation and version-chain installation are serialized per
+// column shard instead of globally, so transactions with disjoint
+// column footprints commit in parallel and same-shard commits are
+// batched under one lock acquisition (group commit). n = 1 restores
+// the paper's fully serialized commit phase (the Figure 11 baseline)
+// with identical semantics. n <= 0 (and the default, when the option
+// is omitted) selects GOMAXPROCS shards.
+func WithCommitShards(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.commitShards = n
+	}
+}
+
+// AutoCommitShards returns the commit shard count selected when
+// WithCommitShards is omitted (or given n <= 0): GOMAXPROCS, the
+// parallelism actually available to the commit pipeline. Benchmarks
+// use it to label auto-sharded configurations.
+func AutoCommitShards() int { return runtime.GOMAXPROCS(0) }
 
 // WithInitialSchema creates the table at Open, before any transaction
 // can run. Equivalent to calling CreateTable immediately after Open.

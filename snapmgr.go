@@ -199,10 +199,13 @@ func (m *snapManager) close() {
 // colSnap returns the generation's snapshot of c, creating it on first
 // touch: this is the paper's fine-granular mode, where only the columns
 // a query actually reads are ever snapshotted. Creation runs under the
-// commit mutex so the snapshot captures a transaction-consistent state;
-// every row the snapshot holds with a write timestamp above the
-// generation's timestamp is repaired from the version chains at read
-// time.
+// commit lock of the shard c is routed to, which excludes concurrent
+// materialisation into c; commits in other shards may proceed during
+// capture, but they only store into their own columns' pages, and every
+// row the snapshot holds with a write timestamp above the generation's
+// timestamp is repaired from the version chains at read time — so
+// out-of-order per-shard completion never leaks a torn or
+// future-stamped value into an OLAP read.
 func (g *generation) colSnap(c *column) (*colSnap, error) {
 	g.colMu.Lock()
 	defer g.colMu.Unlock()
@@ -210,11 +213,12 @@ func (g *generation) colSnap(c *column) (*colSnap, error) {
 		return cs, nil
 	}
 	m := g.mgr
-	m.db.commitMu.Lock()
+	shard := m.db.shards[m.db.shardOf(c.id)]
+	shard.mu.Lock()
 	start := time.Now()
 	snap, err := m.db.strat.Snapshot(c.regions())
 	elapsed := time.Since(start)
-	m.db.commitMu.Unlock()
+	shard.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}

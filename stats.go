@@ -16,6 +16,16 @@ type Stats struct {
 	OLAPBegun    uint64
 	ActiveTxns   int // running OLTP transactions
 
+	// Sharded group-commit pipeline.
+	CommitShards  int    // configured commit shards
+	CommitBatches uint64 // commit batches processed (group + cross-shard)
+	// CommitShardConflicts counts commits whose footprint spanned more
+	// than one shard and therefore serialized against multiple shard
+	// locks (cross-shard commits). It is a routing/contention measure,
+	// NOT a validation-failure count — see Conflicts for those.
+	CommitShardConflicts uint64
+	GroupCommitSize      GroupCommitHist // batch-size distribution
+
 	// Snapshot lifecycle.
 	SnapshotsCreated    uint64        // column snapshots created
 	SnapshotsReleased   uint64        // column snapshots released
@@ -38,6 +48,23 @@ type Stats struct {
 	NumVMAs     int    // VMA count (Figure 5a's x-axis driver)
 }
 
+// GroupCommitHist is a log2 histogram of commit batch sizes: how many
+// transactions each shard-lock acquisition committed together. Bucket
+// upper bounds are 1, 2, 4, 8, 16, 32, 64, and +Inf. Cross-shard
+// commits count as batches of one.
+type GroupCommitHist struct {
+	Buckets [8]uint64
+}
+
+// Observations returns the total number of batches recorded.
+func (h GroupCommitHist) Observations() uint64 {
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
 // Stats returns current engine counters.
 func (db *DB) Stats() Stats {
 	m := db.snaps
@@ -56,6 +83,10 @@ func (db *DB) Stats() Stats {
 		OLAPBegun:    db.st.olapBegun.Load(),
 		ActiveTxns:   db.activ.Len(),
 
+		CommitShards:         len(db.shards),
+		CommitBatches:        db.st.commitBatches.Load(),
+		CommitShardConflicts: db.st.crossShard.Load(),
+
 		SnapshotsCreated:   created,
 		SnapshotsReleased:  released,
 		ActiveSnapshots:    created - released,
@@ -63,13 +94,18 @@ func (db *DB) Stats() Stats {
 		LastSnapshotTime:   time.Duration(m.lastNanos.Load()),
 		CompletedCommitTS:  db.oracle.Completed(),
 
-		VersionsGCed:        db.st.versionsGCed.Load(),
-		Vacuums:             db.st.vacuums.Load(),
-		RecentCommitRecords: db.recent.Len(),
+		VersionsGCed: db.st.versionsGCed.Load(),
+		Vacuums:      db.st.vacuums.Load(),
 
 		VM:          db.proc.Stats(),
 		MappedBytes: db.proc.MappedBytes(),
 		NumVMAs:     db.proc.NumVMAs(),
+	}
+	for i := range db.st.groupSizes {
+		s.GroupCommitSize.Buckets[i] = db.st.groupSizes[i].Load()
+	}
+	for _, sh := range db.shards {
+		s.RecentCommitRecords += sh.recent.Len()
 	}
 
 	m.mu.Lock()
