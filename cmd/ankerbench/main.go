@@ -15,6 +15,10 @@
 //     throughput as the writer count grows, swept across commit shard
 //     counts. shards=1 is the paper's serialized commit phase; higher
 //     shard counts engage the sharded group-commit pipeline.
+//   - "durability": commit throughput with the write-ahead log
+//     enabled, swept across sync policies (none, groupOnly, always)
+//     and commit shard counts, plus crash-recovery replay time and
+//     snapshot-driven checkpoint latency per configuration.
 //
 // All benchmarks go exclusively through the public API, so the numbers
 // include the full commit pipeline and snapshot lifecycle.
@@ -23,7 +27,9 @@
 // "csv" and "json" emit one flat record per measured metric
 // (bench, strategy, shards, writers, scanners, touch, metric, value),
 // the machine-readable format the CI bench artifact and the
-// paper-figure tables share.
+// paper-figure tables share. Every run also emits "env" records
+// (gomaxprocs, numcpu): on a 1-CPU runner the shard sweep cannot show
+// wall-clock speedup, and artifacts must say so.
 package main
 
 import (
@@ -33,6 +39,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,7 +51,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit", "comma-separated benchmarks to run: create, write, mixed, commit")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,durability", "comma-separated benchmarks to run: create, write, mixed, commit, durability")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -51,8 +59,10 @@ var (
 	flagWriters    = flag.Int("writers", 8, "concurrent OLTP writers (mixed benchmark; upper bound of the commit sweep)")
 	flagScanners   = flag.Int("scanners", 2, "concurrent OLAP scanners (mixed benchmark)")
 	flagRefresh    = flag.Int("refresh", 16, "snapshot refresh interval in commits (mixed benchmark)")
-	flagShards     = flag.String("shards", "1,0", "comma-separated commit shard counts for the commit sweep (0 = GOMAXPROCS)")
-	flagDur        = flag.Duration("dur", 2*time.Second, "duration per configuration (mixed and commit benchmarks)")
+	flagShards     = flag.String("shards", "1,0", "comma-separated commit shard counts for the commit and durability sweeps (0 = GOMAXPROCS)")
+	flagSync       = flag.String("sync", "none,groupOnly,always", "comma-separated WAL sync policies for the durability sweep")
+	flagDurDir     = flag.String("durdir", "", "durability directory root (default: a temp dir, removed afterwards)")
+	flagDur        = flag.Duration("dur", 2*time.Second, "duration per configuration (mixed, commit and durability benchmarks)")
 	flagZeroCost   = flag.Bool("zerocost", false, "disable the simulated kernel cost model")
 	flagFormat     = flag.String("format", "text", "output format: text, csv, json")
 	flagQuick      = flag.Bool("quick", false, "CI smoke preset: small columns, short durations")
@@ -137,6 +147,11 @@ func main() {
 	for _, b := range strings.Split(*flagBench, ",") {
 		benches[strings.TrimSpace(b)] = true
 	}
+	emitEnv()
+	if (benches["commit"] || benches["durability"]) && runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "ankerbench: warning: GOMAXPROCS=1 — shard sweeps cannot"+
+			" show wall-clock speedup on one CPU; their artifact numbers understate multi-core scaling")
+	}
 	if benches["create"] {
 		benchCreate(strats)
 	}
@@ -149,7 +164,22 @@ func main() {
 	if benches["commit"] {
 		benchCommit()
 	}
+	if benches["durability"] {
+		benchDurability()
+	}
 	flush()
+}
+
+// emitEnv records the execution environment in every machine-readable
+// artifact: shard-sweep results are meaningless without knowing how
+// many CPUs the run actually had.
+func emitEnv() {
+	textf("== environment: GOMAXPROCS=%d NumCPU=%d ==\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	base := record{Bench: "env", Strategy: "", Shards: -1, Writers: -1, Scanners: -1, Touch: -1}
+	emitAll(base, []metric{
+		{"gomaxprocs", float64(runtime.GOMAXPROCS(0))},
+		{"numcpu", float64(runtime.NumCPU())},
+	})
 }
 
 // flush writes the collected records in the selected machine-readable
@@ -576,5 +606,113 @@ func powersOfTwoUpTo(n int) []int {
 		out = append(out, w)
 	}
 	out = append(out, n)
+	return out
+}
+
+// benchDurability sweeps the WAL sync policies across commit shard
+// counts: commit throughput with durability on (fsync cost amortized
+// per group under groupOnly, per record under always, absent under
+// none), then a timed crash recovery (reopen and replay the full WAL)
+// and a timed snapshot-driven checkpoint of the recovered database.
+func benchDurability() {
+	policies := parseSyncPolicies()
+	shardCounts := parseShards()
+	cols := *flagCols
+	if cols < *flagWriters {
+		cols = *flagWriters
+	}
+	root := *flagDurDir
+	if root == "" {
+		dir, err := os.MkdirTemp("", "ankerbench-durability-")
+		if err != nil {
+			fail("durability temp dir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		root = dir
+	}
+
+	textf("== durability (%d writers, %v/point): WAL sync policy × commit shards ==\n", *flagWriters, *flagDur)
+	textf("%-10s  %8s  %10s  %12s  %8s  %12s  %12s\n",
+		"sync", "shards", "commits/s", "WAL MiB", "fsyncs", "recovery", "checkpoint")
+	for _, policy := range policies {
+		for i, shards := range shardCounts {
+			dir := filepath.Join(root, fmt.Sprintf("%s-%d", policy, i))
+			db := openLoaded(ankerdb.VMSnap, cols,
+				ankerdb.WithCommitShards(shards),
+				ankerdb.WithSnapshotRefresh(0),
+				ankerdb.WithDurability(dir),
+				ankerdb.WithSyncPolicy(policy))
+			commits, aborts := runCommitters(db, *flagWriters, *flagDur)
+			st := db.Stats()
+			if err := db.Close(); err != nil {
+				fail("close: %v", err)
+			}
+
+			// Crash recovery: reopen the directory and replay the WAL.
+			// Plain Open, no initial schema or bulk Load — the tables
+			// come back from the schema log, so the timing is recovery
+			// alone, not benchmark data loading.
+			recStart := time.Now()
+			db, err := ankerdb.Open(
+				ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+				ankerdb.WithCostModel(costModel()),
+				ankerdb.WithCommitShards(shards),
+				ankerdb.WithSnapshotRefresh(0),
+				ankerdb.WithDurability(dir),
+				ankerdb.WithSyncPolicy(policy))
+			if err != nil {
+				fail("reopen %s: %v", dir, err)
+			}
+			recovery := time.Since(recStart)
+			replayed := db.Stats().RecoveryReplayedTxns
+
+			// Checkpoint the recovered state (pins a snapshot
+			// generation; writers would not be blocked).
+			ckStart := time.Now()
+			if err := db.Checkpoint(); err != nil {
+				fail("checkpoint: %v", err)
+			}
+			checkpoint := time.Since(ckStart)
+			if err := db.Close(); err != nil {
+				fail("close: %v", err)
+			}
+
+			perSec := float64(commits) / flagDur.Seconds()
+			fsyncsPerCommit := 0.0
+			if commits > 0 {
+				fsyncsPerCommit = float64(st.FsyncCount) / float64(commits)
+			}
+			textf("%-10s  %8d  %10.0f  %12.2f  %8d  %12v  %12v\n",
+				policy, st.CommitShards, perSec, float64(st.WALBytes)/(1<<20),
+				st.FsyncCount, recovery, checkpoint)
+			base := record{Bench: "durability", Strategy: policy.String(),
+				Shards: st.CommitShards, Writers: *flagWriters, Scanners: 0, Touch: -1}
+			emitAll(base, []metric{
+				{"commits_per_sec", perSec},
+				{"aborts", float64(aborts)},
+				{"wal_bytes", float64(st.WALBytes)},
+				{"fsyncs", float64(st.FsyncCount)},
+				{"fsyncs_per_commit", fsyncsPerCommit},
+				{"recovery_ns", float64(recovery.Nanoseconds())},
+				{"recovery_replayed_txns", float64(replayed)},
+				{"checkpoint_ns", float64(checkpoint.Nanoseconds())},
+			})
+		}
+	}
+	textf("\n")
+}
+
+func parseSyncPolicies() []ankerdb.SyncPolicy {
+	var out []ankerdb.SyncPolicy
+	for _, s := range strings.Split(*flagSync, ",") {
+		p, err := ankerdb.ParseSyncPolicy(strings.TrimSpace(s))
+		if err != nil {
+			fail("%v", err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		fail("-sync is empty")
+	}
 	return out
 }

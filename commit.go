@@ -7,6 +7,7 @@ import (
 
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/wal"
 )
 
 // The commit pipeline replaces the paper's single serialized commit
@@ -38,6 +39,9 @@ import (
 
 // commitShard is one partition of the commit pipeline.
 type commitShard struct {
+	// id is the shard's index, which is also its WAL segment series.
+	id int
+
 	// mu is the shard commit lock: it serializes validation, timestamp
 	// allocation, and version-chain installation for the columns routed
 	// to this shard, and snapshot capture of those columns.
@@ -61,7 +65,7 @@ type commitReq struct {
 func newCommitShards(n int) []*commitShard {
 	shards := make([]*commitShard, n)
 	for i := range shards {
-		shards[i] = &commitShard{recent: mvcc.NewRecentList()}
+		shards[i] = &commitShard{id: i, recent: mvcc.NewRecentList()}
 	}
 	return shards
 }
@@ -153,7 +157,10 @@ func (db *DB) finishGrouped(req *commitReq, err error) error {
 // runBatch validates, stamps, and installs a batch of same-shard
 // commits under the shard lock (held by the caller): one recent-list
 // lock acquisition per validation, one oracle block allocation for the
-// whole batch. Transactions that fail validation complete their
+// whole batch, and — with durability enabled — one WAL append (one
+// fsync under the default policy) covering every record in the batch,
+// so durability costs amortize across the group exactly like the lock
+// acquisition. Transactions that fail validation complete their
 // timestamp slot as a no-op so the completion watermark stays
 // contiguous.
 func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
@@ -161,7 +168,8 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 	db.st.groupSizes[groupSizeBucket(len(batch))].Add(1)
 
 	first := db.oracle.NextCommitTSBlock(len(batch))
-	committed := 0
+	done := make([]*commitReq, 0, len(batch))
+	var recs []wal.CommitRecord
 	for i, req := range batch {
 		ts := first + uint64(i)
 		req.ts = ts
@@ -175,13 +183,30 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 			req.errc <- fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
 			continue
 		}
-		s.recent.Add(db.install(req.st, ts))
-		db.oracle.Complete(ts)
-		committed++
-		req.errc <- nil
+		rec := db.install(req.st, ts)
+		s.recent.Add(rec)
+		if db.wal != nil {
+			recs = append(recs, db.redoRecord(rec))
+		}
+		done = append(done, req)
 	}
-	if committed > 0 {
-		db.maintainShards([]*commitShard{s}, uint64(committed))
+	// The batch's records become durable before any of its timestamps
+	// complete: the visibility watermark never runs ahead of the
+	// durable prefix, so a transaction can only read state that will
+	// survive a crash. A WAL write failure is reported to every
+	// committer in the batch, but the slots still complete — the
+	// watermark must not stall — leaving the writes applied in memory;
+	// see the walErr delivery below.
+	var walErr error
+	if len(recs) > 0 {
+		walErr = db.wal.AppendCommits(s.id, recs)
+	}
+	for _, req := range done {
+		db.oracle.Complete(req.ts)
+		req.errc <- walErr
+	}
+	if len(done) > 0 {
+		db.maintainShards([]*commitShard{s}, uint64(len(done)))
 	}
 }
 
@@ -224,12 +249,19 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 			shards[i].recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes})
 		}
 	}
+	// The whole cross-shard record is logged once, to the lowest
+	// involved shard's segment — replay merges shard logs by commit
+	// timestamp, so which segment carries the record is irrelevant.
+	var walErr error
+	if db.wal != nil {
+		walErr = db.wal.AppendCommits(ids[0], []wal.CommitRecord{db.redoRecord(rec)})
+	}
 	db.oracle.Complete(ts)
 	db.maintainShards(shards, 1)
 	unlock()
 	// See commitGrouped: visibility before Commit returns.
 	db.oracle.WaitCompleted(ts)
-	return nil
+	return walErr
 }
 
 // install materialises t's staged writes at commit timestamp ts and
@@ -253,31 +285,24 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 }
 
 // maintainShards counts the batch's committed transactions and runs
-// the periodic shard-local maintenance: recent-list pruning every
-// recentPruneEvery commits and version-chain vacuum every vacuumEvery
-// commits, applied to the shards whose locks the caller holds. Other
-// shards prune when they next commit (or on an explicit Vacuum).
+// the periodic version-chain vacuum every vacuumEvery commits, applied
+// to the shards whose locks the caller holds. Recent-list pruning is
+// NOT done here: it is driven by the oracle watermark hook through the
+// background pruner (db.recentPruner), which covers idle shards too —
+// a shard that stops committing would otherwise retain validation
+// records until an explicit Vacuum.
 func (db *DB) maintainShards(shards []*commitShard, added uint64) {
 	n := db.st.commits.Add(added)
-	prune := n/recentPruneEvery != (n-added)/recentPruneEvery
-	vacuum := n/vacuumEvery != (n-added)/vacuumEvery
-	if !prune && !vacuum {
+	if n/vacuumEvery == (n-added)/vacuumEvery {
 		return
 	}
 	floor := db.gcFloor()
+	var removed int64
 	for _, s := range shards {
-		if prune {
-			s.recent.PruneBelow(floor)
-		}
+		removed += db.vacuumShardChains(s, floor)
 	}
-	if vacuum {
-		var removed int64
-		for _, s := range shards {
-			removed += db.vacuumShardChains(s, floor)
-		}
-		db.st.vacuums.Add(1)
-		db.st.versionsGCed.Add(removed)
-	}
+	db.st.vacuums.Add(1)
+	db.st.versionsGCed.Add(removed)
 }
 
 // vacuumShardChains prunes the version chains of every column routed to

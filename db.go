@@ -9,6 +9,7 @@ import (
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/storage"
 	"ankerdb/internal/vmem"
+	"ankerdb/internal/wal"
 )
 
 // vacuumEvery is how many commits pass between automatic version-chain
@@ -39,6 +40,22 @@ type DB struct {
 	// commit phase.
 	shards []*commitShard
 
+	// wal is the durability subsystem (nil without WithDurability):
+	// batch leaders redo-log whole commit batches under the shard
+	// commit lock, and Checkpoint/recovery live in durability.go.
+	wal        *wal.Log
+	ckptMu     sync.Mutex // one checkpoint at a time
+	recovering bool       // Open-time replay: skip re-logging DDL
+	// recoveredTxns is the number of WAL commit records replayed by
+	// Open; written once before the DB is shared, read by Stats.
+	recoveredTxns uint64
+
+	// gcKick wakes the watermark-driven recent-list pruner (one
+	// buffered slot: pruning is idempotent, kicks may coalesce);
+	// closing gcQuit stops it.
+	gcKick chan struct{}
+	gcQuit chan struct{}
+
 	mu      sync.RWMutex
 	tables  map[string]*table
 	tabList []*table
@@ -49,7 +66,8 @@ type DB struct {
 }
 
 type dbCounters struct {
-	commits       atomic.Uint64 // counted in maintainShards, drives periodic maintenance
+	commits       atomic.Uint64 // counted in maintainShards, drives periodic vacuum
+	completions   atomic.Uint64 // counted in the complete hook, drives recent-list pruning
 	emptyCommits  atomic.Uint64
 	aborts        atomic.Uint64
 	conflicts     atomic.Uint64
@@ -59,6 +77,7 @@ type dbCounters struct {
 	versionsGCed  atomic.Int64
 	commitBatches atomic.Uint64
 	crossShard    atomic.Uint64
+	checkpoints   atomic.Uint64
 	groupSizes    [8]atomic.Uint64
 }
 
@@ -94,7 +113,10 @@ func (c *column) regions() []snapshot.Region {
 	}
 }
 
-// Open creates an empty in-memory database configured by opts.
+// Open creates a database configured by opts: purely in-memory by
+// default, or durable under WithDurability — in which case a non-empty
+// durability directory is recovered (schema log, newest checkpoint,
+// then idempotent WAL replay) before Open returns.
 func Open(opts ...Option) (*DB, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -113,15 +135,79 @@ func Open(opts ...Option) (*DB, error) {
 		activ:  mvcc.NewActiveSet(),
 		shards: newCommitShards(cfg.resolveCommitShards()),
 		tables: map[string]*table{},
+		gcKick: make(chan struct{}, 1),
+		gcQuit: make(chan struct{}),
 	}
 	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
-	db.oracle.SetCompleteHook(db.snaps.noteCommit)
-	for _, s := range cfg.schemas {
-		if err := db.CreateTable(s.schema, s.rows); err != nil {
+	db.oracle.SetCompleteHook(db.onComplete)
+	if cfg.durDir != "" {
+		wlog, err := wal.Open(cfg.durDir, len(db.shards), cfg.syncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = wlog
+		if err := db.recover(); err != nil {
+			_ = wlog.Close()
 			return nil, err
 		}
 	}
+	for _, s := range cfg.schemas {
+		if db.wal != nil && db.hasTable(s.schema.Table) {
+			// Recovered state already holds this table; keep it.
+			continue
+		}
+		if err := db.CreateTable(s.schema, s.rows); err != nil {
+			if db.wal != nil {
+				_ = db.wal.Close()
+			}
+			return nil, err
+		}
+	}
+	go db.recentPruner()
 	return db, nil
+}
+
+func (db *DB) hasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[name]
+	return ok
+}
+
+// onComplete is the oracle's complete hook, called once per committed
+// timestamp the watermark crosses, inside the completion critical
+// section — it must stay cheap (atomics and a non-blocking send). It
+// drives snapshot refresh and, every recentPruneEvery commits, kicks
+// the background recent-list pruner so even shards that stopped
+// committing release validation records as the watermark advances.
+func (db *DB) onComplete(ts uint64) {
+	db.snaps.noteCommit(ts)
+	if db.st.completions.Add(1)%recentPruneEvery == 0 {
+		select {
+		case db.gcKick <- struct{}{}:
+		default: // a kick is already pending; pruning coalesces
+		}
+	}
+}
+
+// recentPruner runs until Close, pruning every shard's recent-commits
+// list below the GC floor whenever the watermark hook kicks it. Unlike
+// the commit-path vacuum it covers idle shards: a shard that stops
+// committing still sheds its retained records as other shards advance
+// the watermark. RecentList pruning only takes the list's own mutex,
+// so the pruner never contends with shard commit locks.
+func (db *DB) recentPruner() {
+	for {
+		select {
+		case <-db.gcQuit:
+			return
+		case <-db.gcKick:
+			floor := db.gcFloor()
+			for _, s := range db.shards {
+				s.recent.PruneBelow(floor)
+			}
+		}
+	}
 }
 
 // columnAlloc picks how column arrays are backed: strategies that
@@ -175,6 +261,13 @@ func (db *DB) CreateTable(schema Schema, rows int) error {
 	}
 	db.tables[schema.Table] = t
 	db.tabList = append(db.tabList, t)
+	if db.wal != nil && !db.recovering {
+		// Logged under db.mu so schema-log order always matches table
+		// index order, which recovery relies on to rebuild ColumnIDs.
+		if err := db.wal.AppendTable(tableRecord(schema, rows)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -300,9 +393,11 @@ func (db *DB) Vacuum() int64 {
 	return removed
 }
 
-// Close releases the manager's pin on the current snapshot generation
-// and marks the database closed. Transactions still running keep their
-// pinned snapshots alive until they finish.
+// Close releases the manager's pin on the current snapshot generation,
+// stops the background pruner, syncs and closes the write-ahead log
+// (so even under SyncNone a clean shutdown is durable), and marks the
+// database closed. Transactions still running keep their pinned
+// snapshots alive until they finish.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -311,6 +406,10 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
+	close(db.gcQuit)
 	db.snaps.close()
+	if db.wal != nil {
+		return db.wal.Close()
+	}
 	return nil
 }

@@ -12,6 +12,10 @@
 //     compares (physical, fork, rewired, vmsnap)
 //   - internal/mvcc: version chains, precision-locking validation and
 //     the timestamp oracle
+//   - internal/wal: the durability subsystem — per-commit-shard
+//     write-ahead log with group-commit fsync batching,
+//     snapshot-driven checkpoints and crash recovery (enabled with
+//     WithDurability; the default remains purely in-memory)
 //
 // Short modifying OLTP transactions stage writes locally, validate
 // against recently committed writers at commit (precision locking, so

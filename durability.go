@@ -1,0 +1,266 @@
+package ankerdb
+
+import (
+	"fmt"
+
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/storage"
+	"ankerdb/internal/wal"
+)
+
+// Durability glue between the engine and internal/wal: redo-record
+// conversion for the commit pipeline, snapshot-driven checkpointing,
+// and Open-time crash recovery.
+
+// tableRecord converts a schema into its schema-log form.
+func tableRecord(schema Schema, rows int) wal.TableRecord {
+	rec := wal.TableRecord{Name: schema.Table, Rows: rows}
+	for _, c := range schema.Columns {
+		rec.Columns = append(rec.Columns, wal.ColumnDef{Name: c.Name, Type: uint8(c.Type)})
+	}
+	return rec
+}
+
+// redoRecord converts a committed transaction's record into its WAL
+// form. VARCHAR writes carry the decoded string so replay can re-seed
+// the dictionary: a bare code would only be meaningful against the
+// exact dictionary state of the crashed process. It runs on the commit
+// hot path under the shard lock, so the table list is locked once for
+// the whole record, not per write.
+func (db *DB) redoRecord(rec mvcc.CommitRecord) wal.CommitRecord {
+	out := wal.CommitRecord{TS: rec.TS, Writes: make([]wal.RedoWrite, 0, len(rec.Writes))}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, e := range rec.Writes {
+		w := wal.RedoWrite{Table: e.Col.Table, Col: e.Col.Col, Row: e.Row, Val: e.New}
+		if c := db.tabList[e.Col.Table].cols[e.Col.Col]; c.def.Type == Varchar {
+			w.Str, w.HasStr = c.dict.Decode(e.New), true
+		}
+		out.Writes = append(out.Writes, w)
+	}
+	return out
+}
+
+// Checkpoint writes a consistent on-disk checkpoint and truncates the
+// write-ahead log below its timestamp. It is the paper's snapshot-
+// consumer pattern applied to durability: the checkpointer pins an
+// OLAP snapshot generation (through whichever snapshot strategy the
+// database runs) and streams the snapshotted column regions plus
+// dictionaries to disk, so OLTP writers are never stalled — they only
+// ever see the usual brief shard-lock hold of a first-touch column
+// snapshot. Rows newer than the checkpoint timestamp may be captured;
+// replay's newer-wins rule makes that harmless, because their WAL
+// records survive truncation.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return ErrNoDurability
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	db.mu.RUnlock()
+
+	g := db.snaps.acquire()
+	defer db.snaps.release(g)
+	// Capture the table list only after the generation's timestamp is
+	// pinned: any table created from here on can only receive commit
+	// timestamps above it, so its rows are fully covered by the WAL
+	// records the truncation below g.ts retains.
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+
+	err := db.wal.WriteCheckpoint(g.ts, len(tabs), func(w *wal.CheckpointWriter) error {
+		for _, t := range tabs {
+			schema := t.st.Schema()
+			if err := w.BeginTable(schema.Table, t.st.Rows(), len(t.cols)); err != nil {
+				return err
+			}
+			for _, c := range t.cols {
+				cs, err := g.colSnap(c)
+				if err != nil {
+					return err
+				}
+				if err := storage.WriteWords(w, c.data.Rows(), cs.data.GetU); err != nil {
+					return err
+				}
+				if err := storage.WriteWords(w, c.wts.Rows(), cs.wts.GetU); err != nil {
+					return err
+				}
+			}
+			// The dictionary is read only now, after the last column
+			// capture: being append-only it is a superset of every code
+			// the captured words can hold, even with VARCHAR commits
+			// racing the checkpoint.
+			if err := w.FinishTable(t.st.Dict().Strings()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	db.st.checkpoints.Add(1)
+	return nil
+}
+
+// recover rebuilds engine state from the durability directory: replay
+// the schema log (recreating every table in original index order),
+// load the newest checkpoint into the column arrays, then re-apply WAL
+// commit records. Replay is idempotent by commit timestamp — a write
+// lands only if its record is newer than the row's current write
+// timestamp — so record order across shard logs is irrelevant and
+// checkpoint-covered records are naturally skipped. Finally the oracle
+// is re-seeded from the newest durable commit timestamp, making all
+// recovered rows immediately visible at their original commit
+// timestamps.
+func (db *DB) recover() error {
+	db.recovering = true
+	defer func() { db.recovering = false }()
+
+	if err := db.wal.ReplayTables(func(tr wal.TableRecord) error {
+		schema := Schema{Table: tr.Name}
+		for _, c := range tr.Columns {
+			schema.Columns = append(schema.Columns, ColumnDef{Name: c.Name, Type: ColumnType(c.Type)})
+		}
+		return db.CreateTable(schema, tr.Rows)
+	}); err != nil {
+		return fmt.Errorf("ankerdb: recovery: schema log: %w", err)
+	}
+
+	ckptTS, ckptMaxWTS, err := db.loadCheckpoint()
+	if err != nil {
+		return fmt.Errorf("ankerdb: recovery: %w", err)
+	}
+
+	var replayed uint64
+	maxTS := ckptTS
+	if ckptMaxWTS > maxTS {
+		// The checkpoint may have captured rows committed after its
+		// timestamp whose WAL records were then lost to a crash under
+		// SyncNone. Seeding at the max captured write timestamp keeps
+		// those rows' timestamps in the past, so re-issued commit
+		// timestamps can never collide with a recovered row's.
+		maxTS = ckptMaxWTS
+	}
+	cols := make([]*column, 0, 8)
+	if err := db.wal.ReplayCommits(func(rec wal.CommitRecord) error {
+		if rec.TS > maxTS {
+			maxTS = rec.TS
+		}
+		if rec.TS <= ckptTS {
+			return nil // fully covered by the checkpoint
+		}
+		// Resolve every address before applying anything: a record that
+		// references state beyond the durable schema prefix (possible
+		// only under SyncNone, when OS writeback persisted a segment
+		// page but not the schema log) is skipped whole — like a torn
+		// tail, and without breaking per-transaction atomicity. It must
+		// not fail recovery: that would make the directory permanently
+		// unopenable over a policy that only promises to lose recent
+		// commits.
+		cols = cols[:0]
+		for _, w := range rec.Writes {
+			c, ok := db.recoveredColumn(w)
+			if !ok {
+				return nil
+			}
+			cols = append(cols, c)
+		}
+		for i, w := range rec.Writes {
+			c := cols[i]
+			if rec.TS <= c.wts.GetU(w.Row) {
+				continue // a newer write already owns the row
+			}
+			val := w.Val
+			if w.HasStr {
+				val = c.dict.Encode(w.Str)
+			}
+			c.wts.SetU(w.Row, rec.TS)
+			c.data.Set(w.Row, val)
+		}
+		replayed++
+		return nil
+	}); err != nil {
+		return fmt.Errorf("ankerdb: recovery: %w", err)
+	}
+
+	db.oracle.Seed(maxTS)
+	db.recoveredTxns = replayed
+	return nil
+}
+
+// recoveredColumn resolves a redo write's column against the
+// recovered schema; ok is false for addresses the durable schema
+// prefix does not cover.
+func (db *DB) recoveredColumn(w wal.RedoWrite) (*column, bool) {
+	if w.Table < 0 || w.Table >= len(db.tabList) {
+		return nil, false
+	}
+	t := db.tabList[w.Table]
+	if w.Col < 0 || w.Col >= len(t.cols) {
+		return nil, false
+	}
+	c := t.cols[w.Col]
+	if w.Row < 0 || w.Row >= c.data.Rows() {
+		return nil, false
+	}
+	return c, true
+}
+
+// loadCheckpoint loads the newest checkpoint, if any, into the
+// recreated tables. It returns the checkpoint timestamp and the
+// maximum write timestamp of any loaded row (both 0 without a
+// checkpoint) — the latter can exceed the former when the checkpoint
+// captured rows committed after its timestamp, and the oracle must be
+// seeded above it.
+func (db *DB) loadCheckpoint() (uint64, uint64, error) {
+	var maxWTS uint64
+	ts, ok, err := db.wal.LoadCheckpoint(func(_ uint64, ntables int, r *wal.CheckpointReader) error {
+		for i := 0; i < ntables; i++ {
+			name, rows, cols, err := r.TableHeader()
+			if err != nil {
+				return err
+			}
+			t := db.tables[name]
+			if t == nil {
+				return fmt.Errorf("checkpointed table %q missing from schema log", name)
+			}
+			if t.st.Rows() != rows || len(t.cols) != cols {
+				return fmt.Errorf("checkpointed table %q is %d×%d, schema log says %d×%d",
+					name, rows, cols, t.st.Rows(), len(t.cols))
+			}
+			for _, c := range t.cols {
+				if err := storage.ReadWords(r, rows, c.data.SetU); err != nil {
+					return err
+				}
+				if err := storage.ReadWords(r, rows, func(row int, v uint64) {
+					if v > maxWTS {
+						maxWTS = v
+					}
+					c.wts.SetU(row, v)
+				}); err != nil {
+					return err
+				}
+			}
+			dict, err := r.TableDict()
+			if err != nil {
+				return err
+			}
+			t.st.Dict().Load(dict)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, nil
+	}
+	return ts, maxWTS, nil
+}

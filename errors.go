@@ -35,4 +35,8 @@ var (
 	// ErrType is returned when a string accessor is used on a
 	// non-VARCHAR column.
 	ErrType = errors.New("ankerdb: column type mismatch")
+
+	// ErrNoDurability is returned by Checkpoint when the database was
+	// opened without WithDurability.
+	ErrNoDurability = errors.New("ankerdb: durability not enabled")
 )

@@ -563,3 +563,21 @@ func TestPropertyChainVisibility(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOracleSeed(t *testing.T) {
+	var o Oracle
+	o.Seed(42)
+	if o.Begin() != 42 || o.Completed() != 42 {
+		t.Fatalf("seeded oracle at %d/%d, want 42/42", o.Begin(), o.Completed())
+	}
+	// The next allocation continues above the seed and completes
+	// normally past it.
+	ts := o.NextCommitTS()
+	if ts != 43 {
+		t.Fatalf("first post-seed commit TS = %d, want 43", ts)
+	}
+	o.Complete(ts)
+	if o.Completed() != 43 {
+		t.Fatalf("watermark = %d, want 43", o.Completed())
+	}
+}

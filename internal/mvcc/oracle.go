@@ -41,6 +41,17 @@ type Oracle struct {
 // every assigned commit timestamp has completed.
 func (o *Oracle) Begin() uint64 { return o.completed.Load() }
 
+// Seed initialises the oracle to ts, the newest durable commit
+// timestamp found by crash recovery: the next allocated commit
+// timestamp is ts+1 and new transactions begin at ts, so recovered
+// state is immediately visible and re-issued timestamps can never
+// collide with replayed ones. It must only be called before the first
+// timestamp is assigned.
+func (o *Oracle) Seed(ts uint64) {
+	o.next.Store(ts)
+	o.completed.Store(ts)
+}
+
 // NextCommitTS assigns the next commit timestamp. Equivalent to
 // NextCommitTSBlock(1).
 func (o *Oracle) NextCommitTS() uint64 { return o.NextCommitTSBlock(1) }

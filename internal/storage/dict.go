@@ -64,3 +64,19 @@ func (d *Dict) Strings() []string {
 	defer d.mu.RUnlock()
 	return append([]string(nil), d.vals...)
 }
+
+// Load replaces the dictionary contents so that code i decodes to
+// vals[i] — recovery restores the checkpointed dictionary with it,
+// keeping every code stored in checkpointed column words valid. It
+// must only be used before the dictionary is shared.
+func (d *Dict) Load(vals []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.vals = append([]string(nil), vals...)
+	d.idx = make(map[string]int64, len(vals))
+	for i, s := range vals {
+		if _, dup := d.idx[s]; !dup {
+			d.idx[s] = int64(i)
+		}
+	}
+}

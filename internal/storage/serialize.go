@@ -1,0 +1,51 @@
+package storage
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Column-region serialization: checkpoints stream column data and
+// write-timestamp arrays as raw little-endian 64-bit words. The
+// get/set accessor indirection lets the same code serve WordArrays,
+// resolved snapshot PageCaches, and anything else word-addressable,
+// without the writer ever holding the address-space lock for more than
+// one word.
+
+// serializeChunk is how many words are staged per I/O call.
+const serializeChunk = 512
+
+// WriteWords streams n words read through get to w.
+func WriteWords(w io.Writer, n int, get func(row int) uint64) error {
+	var buf [8 * serializeChunk]byte
+	for i := 0; i < n; {
+		k := 0
+		for ; k < serializeChunk && i < n; k++ {
+			binary.LittleEndian.PutUint64(buf[8*k:], get(i))
+			i++
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWords reads n words from r, storing each through set.
+func ReadWords(r io.Reader, n int, set func(row int, v uint64)) error {
+	var buf [8 * serializeChunk]byte
+	for i := 0; i < n; {
+		k := serializeChunk
+		if n-i < k {
+			k = n - i
+		}
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			set(i, binary.LittleEndian.Uint64(buf[8*j:]))
+			i++
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -263,5 +264,106 @@ func TestTypeString(t *testing.T) {
 		if got := typ.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", typ, got, want)
 		}
+	}
+}
+
+func TestShardOfDistribution(t *testing.T) {
+	// The commit pipeline hashes (table, column) index pairs onto
+	// shards; similarly named columns are exactly the low consecutive
+	// indices of one table (c0, c1, c2, ...), so the test grids over
+	// small sequential indices — the pattern the previous mix collided
+	// on — and requires every shard to receive a near-fair share.
+	for _, n := range []int{2, 4, 8, 16} {
+		const tables, cols = 16, 64
+		counts := make([]int, n)
+		for tab := 0; tab < tables; tab++ {
+			for col := 0; col < cols; col++ {
+				s := ShardOf(tab, col, n)
+				if s < 0 || s >= n {
+					t.Fatalf("ShardOf(%d,%d,%d) = %d out of range", tab, col, n, s)
+				}
+				counts[s]++
+			}
+		}
+		mean := float64(tables*cols) / float64(n)
+		for s, c := range counts {
+			if dev := float64(c)/mean - 1; dev > 0.35 || dev < -0.35 {
+				t.Fatalf("n=%d: shard %d holds %d of %d pairs (mean %.0f): skew %.0f%%",
+					n, s, c, tables*cols, mean, dev*100)
+			}
+		}
+	}
+}
+
+func TestShardOfLowIndexColumnsSpread(t *testing.T) {
+	// The first handful of columns of table 0 — the hottest addresses
+	// in every benchmark — must not all land on one shard.
+	for _, n := range []int{2, 4, 8} {
+		seen := map[int]bool{}
+		for col := 0; col < 8; col++ {
+			seen[ShardOf(0, col, n)] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("n=%d: columns 0-7 of table 0 all hash to one shard", n)
+		}
+	}
+}
+
+func TestShardOfDegenerate(t *testing.T) {
+	if got := ShardOf(3, 5, 1); got != 0 {
+		t.Fatalf("n=1 must pin shard 0, got %d", got)
+	}
+	if got := ShardOf(3, 5, 0); got != 0 {
+		t.Fatalf("n=0 must pin shard 0, got %d", got)
+	}
+}
+
+func TestWriteReadWordsRoundtrip(t *testing.T) {
+	// Cover the chunk boundary (serializeChunk) and odd tails.
+	for _, n := range []int{0, 1, 511, 512, 513, 4096 + 17} {
+		src := make([]uint64, n)
+		for i := range src {
+			src[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+		}
+		var buf bytes.Buffer
+		if err := WriteWords(&buf, n, func(i int) uint64 { return src[i] }); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		if buf.Len() != 8*n {
+			t.Fatalf("n=%d: wrote %d bytes, want %d", n, buf.Len(), 8*n)
+		}
+		dst := make([]uint64, n)
+		if err := ReadWords(&buf, n, func(i int, v uint64) { dst[i] = v }); err != nil {
+			t.Fatalf("n=%d: read: %v", n, err)
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("n=%d: word %d = %d, want %d", n, i, dst[i], src[i])
+			}
+		}
+	}
+}
+
+func TestReadWordsShortInput(t *testing.T) {
+	if err := ReadWords(bytes.NewReader(make([]byte, 12)), 2, func(int, uint64) {}); err == nil {
+		t.Fatal("ReadWords accepted truncated input")
+	}
+}
+
+func TestDictLoad(t *testing.T) {
+	d := NewDict()
+	d.Encode("will-be-replaced")
+	d.Load([]string{"a", "b", "c"})
+	if d.Len() != 3 || d.Decode(1) != "b" {
+		t.Fatalf("loaded dict wrong: len=%d", d.Len())
+	}
+	if c, ok := d.Lookup("c"); !ok || c != 2 {
+		t.Fatalf("Lookup(c) = %d, %v", c, ok)
+	}
+	if d.Encode("a") != 0 {
+		t.Fatal("Encode of loaded string assigned a new code")
+	}
+	if d.Encode("d") != 3 {
+		t.Fatal("Encode after Load did not continue from loaded length")
 	}
 }

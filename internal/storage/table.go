@@ -47,20 +47,30 @@ func ColumnBytes(proc *vmem.Process, rows int) uint64 {
 	return (uint64(rows)*phys.WordSize + ps - 1) / ps * ps
 }
 
-// ShardOf maps a (table, column) address onto one of n commit shards.
-// The mix is splitmix64-style so that the consecutive column indices of
-// one table spread across shards instead of clustering: disjoint column
-// footprints commit in parallel even inside a single hot table.
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ShardOf maps a (table, column) address onto one of n commit shards
+// by FNV-1a over the table and column words. Byte-wise FNV-1a mixes
+// every input byte through the full hash state, so the small
+// consecutive indices of similarly named columns (c0, c1, c2, ... of
+// one hot table) spread evenly across shards instead of colliding the
+// way the previous two-constant mix did for low indices: disjoint
+// column footprints commit in parallel even inside a single table.
 func ShardOf(table, col, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := uint64(table)*0x9E3779B97F4A7C15 + uint64(col)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
-	h ^= h >> 30
-	h *= 0xBF58476D1CE4E5B9
-	h ^= h >> 27
-	h *= 0x94D049BB133111EB
-	h ^= h >> 31
+	h := uint64(fnvOffset)
+	for _, v := range [2]uint64{uint64(table), uint64(col)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
 	return int(h % uint64(n))
 }
 

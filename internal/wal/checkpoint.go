@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint file layout (all integers little-endian):
+//
+//	"ANKCKPT1"                    8-byte magic
+//	ts u64                        checkpoint timestamp (snapshot
+//	                              generation timestamp)
+//	ntables u32
+//	per table:
+//	  name (u32 len + bytes), rows u64, ncols u32
+//	  per column: rows raw u64 data words, rows raw u64 wts words
+//	  dict: u32 count, then count strings (u32 len + bytes)
+//	crc u32                       CRC32 of everything above
+//	"ANKCKPTE"                    8-byte trailer magic
+//
+// The dictionary comes AFTER the column words on purpose: the dict is
+// append-only and codes are assigned when a write is staged, so a
+// dictionary read after every column capture is a superset of the
+// codes any captured word can hold — a VARCHAR commit racing the
+// checkpoint can never leave a dangling code in the checkpointed
+// columns.
+//
+// The file is written to a temporary name and atomically renamed, so a
+// crash mid-checkpoint leaves the previous checkpoint authoritative;
+// the trailer plus whole-file CRC reject any file that somehow ends up
+// incomplete.
+
+var (
+	ckptMagic   = []byte("ANKCKPT1")
+	ckptTrailer = []byte("ANKCKPTE")
+)
+
+const ckptTrailerLen = 4 + 8 // crc u32 + trailer magic
+
+// CheckpointWriter streams a checkpoint's body. It implements
+// io.Writer (all writes feed the running CRC), with helpers for the
+// metadata fields; column words are streamed through the storage
+// layer's serialization directly into it.
+type CheckpointWriter struct {
+	bw  *bufio.Writer
+	crc hash.Hash32
+	err error
+}
+
+// Write implements io.Writer.
+func (w *CheckpointWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := w.bw.Write(p)
+	w.crc.Write(p[:n])
+	w.err = err
+	return n, err
+}
+
+func (w *CheckpointWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, _ = w.Write(b[:])
+}
+
+func (w *CheckpointWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, _ = w.Write(b[:])
+}
+
+func (w *CheckpointWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	_, _ = w.Write([]byte(s))
+}
+
+// BeginTable writes one table's header (identity and geometry). The
+// caller must follow with exactly cols (data, wts) column-word streams
+// of rows words each, then FinishTable.
+func (w *CheckpointWriter) BeginTable(name string, rows, cols int) error {
+	w.str(name)
+	w.u64(uint64(rows))
+	w.u32(uint32(cols))
+	return w.err
+}
+
+// FinishTable writes the table's dictionary, closing its section. The
+// dictionary must be read AFTER the last column capture (see the
+// layout comment: post-capture dictionaries are supersets of every
+// captured code).
+func (w *CheckpointWriter) FinishTable(dict []string) error {
+	w.u32(uint32(len(dict)))
+	for _, s := range dict {
+		w.str(s)
+	}
+	return w.err
+}
+
+// WriteCheckpoint atomically writes a checkpoint at ts: stream is
+// called to write ntables table sections, then the file is CRC-sealed,
+// fsynced and renamed into place. On success older checkpoints are
+// removed and the WAL is truncated below ts — records above ts stay,
+// which is exactly what replay needs on top of this checkpoint.
+func (l *Log) WriteCheckpoint(ts uint64, ntables int, stream func(w *CheckpointWriter) error) error {
+	if err := l.usable(); err != nil {
+		// A poisoned log may hold in-memory state whose Commit already
+		// returned an error; checkpointing it would make a failed
+		// commit durable and truncate the WAL on top of a hole.
+		return err
+	}
+	tmp := l.tmpCheckpointPath()
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	w := &CheckpointWriter{bw: bufio.NewWriterSize(f, 1<<16), crc: crc32.NewIEEE()}
+	_, _ = w.Write(ckptMagic)
+	w.u64(ts)
+	w.u32(uint32(ntables))
+	if w.err != nil {
+		return abort(w.err)
+	}
+	if err := stream(w); err != nil {
+		return abort(err)
+	}
+	if w.err != nil {
+		return abort(w.err)
+	}
+	// Seal: CRC of everything written so far, then the trailer magic.
+	w.u32(w.crc.Sum32())
+	_, _ = w.Write(ckptTrailer)
+	if w.err != nil {
+		return abort(w.err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return abort(err)
+	}
+	if err := l.sync(f); err != nil {
+		return abort(err)
+	}
+	if err := f.Close(); err != nil {
+		return abort(err)
+	}
+	final := filepath.Join(l.dir, checkpointName(ts))
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := l.syncDir(l.dir); err != nil {
+		return err
+	}
+	// The new checkpoint is durable: older ones are now dead weight.
+	ckpts, err := l.checkpoints()
+	if err != nil {
+		return err
+	}
+	for _, c := range ckpts {
+		if c.path != final {
+			_ = os.Remove(c.path)
+		}
+	}
+	return l.TruncateBelow(ts)
+}
+
+// CheckpointReader consumes a validated checkpoint body. It implements
+// io.Reader for the raw column-word streams, with helpers mirroring
+// the writer's metadata fields.
+type CheckpointReader struct {
+	buf []byte
+	off int
+}
+
+// Read implements io.Reader.
+func (r *CheckpointReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("wal: checkpoint exhausted")
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *CheckpointReader) u32() (uint32, error) {
+	if len(r.buf)-r.off < 4 {
+		return 0, fmt.Errorf("wal: checkpoint truncated")
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *CheckpointReader) u64() (uint64, error) {
+	if len(r.buf)-r.off < 8 {
+		return 0, fmt.Errorf("wal: checkpoint truncated")
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *CheckpointReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.buf)-r.off) < uint64(n) {
+		return "", fmt.Errorf("wal: checkpoint truncated")
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// TableHeader reads the next table section header written by
+// BeginTable. The caller must follow with exactly cols (data, wts)
+// column-word streams of rows words each, then TableDict.
+func (r *CheckpointReader) TableHeader() (name string, rows, cols int, err error) {
+	if name, err = r.str(); err != nil {
+		return
+	}
+	var r64 uint64
+	if r64, err = r.u64(); err != nil {
+		return
+	}
+	rows = int(r64)
+	var c32 uint32
+	if c32, err = r.u32(); err != nil {
+		return
+	}
+	cols = int(c32)
+	return
+}
+
+// TableDict reads the table's trailing dictionary written by
+// FinishTable.
+func (r *CheckpointReader) TableDict() ([]string, error) {
+	d32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d32) > uint64(len(r.buf)-r.off) {
+		return nil, fmt.Errorf("wal: checkpoint dictionary claims %d strings in %d bytes", d32, len(r.buf)-r.off)
+	}
+	var dict []string
+	for i := 0; i < int(d32); i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		dict = append(dict, s)
+	}
+	return dict, nil
+}
+
+// LoadCheckpoint locates the newest checkpoint, validates its framing
+// and whole-file CRC, and hands its body to load. ok is false when the
+// directory holds no checkpoint (a valid state: recovery then replays
+// the WAL from scratch). A present-but-corrupt checkpoint is an error,
+// not a fallback — the WAL below its timestamp is already truncated,
+// so silently ignoring it would lose data.
+func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointReader) error) (ts uint64, ok bool, err error) {
+	ckpts, err := l.checkpoints()
+	if err != nil || len(ckpts) == 0 {
+		return 0, false, err
+	}
+	newest := ckpts[len(ckpts)-1]
+	buf, err := os.ReadFile(newest.path)
+	if err != nil {
+		return 0, false, err
+	}
+	minLen := len(ckptMagic) + 8 + 4 + ckptTrailerLen
+	if len(buf) < minLen || string(buf[:len(ckptMagic)]) != string(ckptMagic) {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: bad header", newest.path)
+	}
+	if string(buf[len(buf)-len(ckptTrailer):]) != string(ckptTrailer) {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: missing trailer", newest.path)
+	}
+	body := buf[: len(buf)-ckptTrailerLen : len(buf)-ckptTrailerLen]
+	crc := binary.LittleEndian.Uint32(buf[len(buf)-ckptTrailerLen:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: checksum mismatch", newest.path)
+	}
+	r := &CheckpointReader{buf: body, off: len(ckptMagic)}
+	ts, err = r.u64()
+	if err != nil {
+		return 0, false, err
+	}
+	n32, err := r.u32()
+	if err != nil {
+		return 0, false, err
+	}
+	if err := load(ts, int(n32), r); err != nil {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: %w", newest.path, err)
+	}
+	return ts, true, nil
+}
+
+func (l *Log) tmpCheckpointPath() string {
+	return filepath.Join(l.dir, "checkpoint.tmp")
+}
+
+func checkpointName(ts uint64) string {
+	return fmt.Sprintf("checkpoint-%020d.ckpt", ts)
+}
+
+type ckptref struct {
+	path string
+	ts   uint64
+}
+
+// checkpoints lists checkpoint files sorted by timestamp.
+func (l *Log) checkpoints() ([]ckptref, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ckptref
+	for _, e := range ents {
+		var ts uint64
+		if n, _ := fmt.Sscanf(e.Name(), "checkpoint-%020d.ckpt", &ts); n != 1 {
+			continue
+		}
+		out = append(out, ckptref{path: filepath.Join(l.dir, e.Name()), ts: ts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ts < out[j].ts })
+	return out, nil
+}

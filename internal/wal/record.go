@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// RedoWrite is one durable write of a committed transaction: enough to
+// re-apply the write during recovery. VARCHAR writes additionally carry
+// the decoded string (HasStr), because dictionary codes are only
+// meaningful relative to the dictionary state the checkpoint preserved;
+// replay re-encodes the string through the recovered dictionary.
+type RedoWrite struct {
+	Table  int
+	Col    int
+	Row    int
+	Val    int64
+	Str    string
+	HasStr bool
+}
+
+// CommitRecord is the redo record of one committed transaction: its
+// commit timestamp and every write it materialised. Replay is
+// idempotent by commit timestamp — a write is re-applied only when its
+// record's timestamp is newer than the row's current write timestamp —
+// so records may be replayed in any order and any number of times.
+type CommitRecord struct {
+	TS     uint64
+	Writes []RedoWrite
+}
+
+// ColumnDef mirrors the storage schema column declaration in a form
+// the wal package can persist without importing the storage package.
+type ColumnDef struct {
+	Name string
+	Type uint8
+}
+
+// TableRecord is one schema-log entry: a table created during the
+// log's lifetime. The schema log is append-only and never truncated
+// (tables cannot be dropped), so replaying it in full recreates every
+// table in original index order before checkpoint and WAL data are
+// loaded into them.
+type TableRecord struct {
+	Name    string
+	Rows    int
+	Columns []ColumnDef
+}
+
+// maxFrameLen bounds a frame payload; larger lengths mark corruption.
+const maxFrameLen = 1 << 30
+
+// appendFrame appends payload to dst framed as
+// [len u32][crc32(payload) u32][payload]. The length-before-content
+// framing plus the checksum is what makes replay torn-tail tolerant: a
+// crash mid-append leaves a frame that fails the length or CRC check
+// and replay stops cleanly at the previous record.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// nextFrame decodes the first frame of buf. ok is false at a clean end
+// of input and at a torn or corrupt tail alike — the caller cannot
+// distinguish them, and must not need to: both mean "no further
+// durable records".
+func nextFrame(buf []byte) (payload, rest []byte, ok bool) {
+	if len(buf) < 8 {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(buf[0:])
+	crc := binary.LittleEndian.Uint32(buf[4:])
+	if uint64(n) > maxFrameLen || uint64(len(buf)-8) < uint64(n) {
+		return nil, nil, false
+	}
+	payload = buf[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, nil, false
+	}
+	return payload, buf[8+n:], true
+}
+
+// encoder builds little-endian record payloads.
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8) { e.b = append(e.b, v) }
+func (e *encoder) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+func (e *encoder) u64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// decoder consumes little-endian record payloads, latching the first
+// bounds error instead of panicking on truncated input.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated record payload")
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || uint64(len(d.b)) < uint64(n) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// encode serialises the commit record payload (framing is the
+// caller's).
+func (r CommitRecord) encode(dst []byte) []byte {
+	e := encoder{b: dst}
+	e.u64(r.TS)
+	e.u32(uint32(len(r.Writes)))
+	for _, w := range r.Writes {
+		e.u32(uint32(w.Table))
+		e.u32(uint32(w.Col))
+		e.u32(uint32(w.Row))
+		e.u64(uint64(w.Val))
+		if w.HasStr {
+			e.u8(1)
+			e.str(w.Str)
+		} else {
+			e.u8(0)
+		}
+	}
+	return e.b
+}
+
+func decodeCommit(payload []byte) (CommitRecord, error) {
+	d := decoder{b: payload}
+	rec := CommitRecord{TS: d.u64()}
+	n := d.u32()
+	if d.err == nil && uint64(n) > uint64(len(payload)) {
+		// A write takes at least one payload byte; more writes than
+		// bytes is corruption, not a huge record.
+		return rec, fmt.Errorf("wal: commit record claims %d writes in %d bytes", n, len(payload))
+	}
+	for i := 0; i < int(n); i++ {
+		w := RedoWrite{
+			Table: int(d.u32()),
+			Col:   int(d.u32()),
+			Row:   int(d.u32()),
+			Val:   int64(d.u64()),
+		}
+		if d.u8() != 0 {
+			w.Str, w.HasStr = d.str(), true
+		}
+		rec.Writes = append(rec.Writes, w)
+	}
+	return rec, d.err
+}
+
+// encode serialises the table record payload.
+func (r TableRecord) encode(dst []byte) []byte {
+	e := encoder{b: dst}
+	e.str(r.Name)
+	e.u64(uint64(r.Rows))
+	e.u32(uint32(len(r.Columns)))
+	for _, c := range r.Columns {
+		e.str(c.Name)
+		e.u8(c.Type)
+	}
+	return e.b
+}
+
+func decodeTable(payload []byte) (TableRecord, error) {
+	d := decoder{b: payload}
+	rec := TableRecord{Name: d.str(), Rows: int(d.u64())}
+	n := d.u32()
+	if d.err == nil && uint64(n) > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: table record claims %d columns in %d bytes", n, len(payload))
+	}
+	for i := 0; i < int(n); i++ {
+		rec.Columns = append(rec.Columns, ColumnDef{Name: d.str(), Type: d.u8()})
+	}
+	return rec, d.err
+}

@@ -1,0 +1,495 @@
+// Package wal is the durability subsystem of AnKerDB: a per-commit-
+// shard write-ahead log with group-commit fsync batching, an append-
+// only schema log, and snapshot-driven checkpoints that truncate the
+// log (checkpoint.go).
+//
+// Layout under the durability directory:
+//
+//	schema.log                 table-creation records, never truncated
+//	wal/shardNNN-SSSSSSSS.wal  commit redo segments, one series per
+//	                           commit shard, rotated at checkpoints
+//	checkpoint-<ts>.ckpt       the newest checkpoint (older ones and
+//	                           crash-orphaned temporaries are removed)
+//
+// The append path mirrors the engine's group-commit pipeline: the
+// batch leader hands the whole batch's redo records to AppendCommits,
+// which issues a single write and — under the default SyncGroup policy
+// — a single fsync for the group, so durability costs amortize across
+// a batch exactly like the shard lock acquisition does.
+//
+// Every record is framed with its length and a CRC32 of its payload,
+// so replay is torn-tail tolerant: a crash mid-append corrupts at most
+// the trailing frame of one shard segment, and replay stops cleanly at
+// the last intact record.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+// Sync policies.
+const (
+	// SyncGroup (the default) fsyncs once per group-commit batch:
+	// every transaction is durable when its Commit returns, at one
+	// fsync per shard-lock acquisition.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs after every individual record, forgoing the
+	// group amortisation — the strictest and slowest policy.
+	SyncAlways
+	// SyncNone never fsyncs on the commit path; records reach the OS
+	// page cache only. A clean Close still syncs, so only crashes (not
+	// shutdowns) can lose tail records.
+	SyncNone
+)
+
+// String implements fmt.Stringer with the option-surface spellings.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "groupOnly"
+	}
+}
+
+// ParseSyncPolicy parses the String form.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "groupOnly", "group":
+		return SyncGroup, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, groupOnly or none)", s)
+}
+
+// Log is one durability directory: per-shard segment series, the
+// schema log, and the checkpoint lifecycle. Appends to different
+// shards proceed in parallel; appends to one shard serialise on that
+// shard's mutex, which the engine's commit pipeline already guarantees
+// by appending under the shard commit lock.
+// ErrLogFailed is returned by every append after a WAL write or sync
+// error: once a record may have been lost, continuing to append would
+// let later commits become durable on top of a hole, so the log
+// poisons itself and the engine stops accepting commits instead of
+// silently running without durability.
+var ErrLogFailed = errors.New("wal: log failed, refusing further appends (durability can no longer be guaranteed)")
+
+// ErrLogClosed is returned by appends racing Close: a segment created
+// after Close would never be synced or closed.
+var ErrLogClosed = errors.New("wal: log closed")
+
+type Log struct {
+	dir    string
+	policy SyncPolicy
+	shards []*shardLog
+	failed atomic.Bool // poisoned by the first append error
+	closed atomic.Bool // set by Close before it syncs the files
+
+	bytes  atomic.Uint64 // record bytes appended (WAL + schema log)
+	fsyncs atomic.Uint64 // fsyncs issued (segments, schema log, checkpoints)
+
+	schemaMu sync.Mutex
+	schema   *os.File
+
+	// sealedMax maps closed segment paths to the newest commit
+	// timestamp they contain, the input to checkpoint truncation. It is
+	// populated by replay (previous runs' segments) and by sealing
+	// (this run's segments).
+	sealedMu  sync.Mutex
+	sealedMax map[string]uint64
+}
+
+// shardLog is one shard's active segment. Segments are created lazily
+// on first append and sealed (closed and registered for truncation) by
+// TruncateBelow.
+type shardLog struct {
+	shard int
+
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     int // newest segment sequence number used or found on disk
+	lastTS  uint64
+	records int
+}
+
+// Open opens (creating if necessary) the durability directory for the
+// given commit shard count. Existing segments are left untouched —
+// fresh appends always start a new segment above every recovered
+// sequence number — and a temporary checkpoint orphaned by a crash is
+// removed.
+func Open(dir string, shards int, policy SyncPolicy) (*Log, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("wal: non-positive shard count %d", shards)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+		return nil, err
+	}
+	schema, err := os.OpenFile(filepath.Join(dir, "schema.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, policy: policy, schema: schema, sealedMax: map[string]uint64{}}
+	segs, err := l.segments()
+	if err != nil {
+		_ = schema.Close()
+		return nil, err
+	}
+	maxSeq := map[int]int{}
+	for _, sg := range segs {
+		if sg.seq > maxSeq[sg.shard] {
+			maxSeq[sg.shard] = sg.seq
+		}
+	}
+	for i := 0; i < shards; i++ {
+		l.shards = append(l.shards, &shardLog{shard: i, seq: maxSeq[i]})
+	}
+	_ = os.Remove(l.tmpCheckpointPath())
+	return l, nil
+}
+
+// Dir returns the durability directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the configured sync policy.
+func (l *Log) Policy() SyncPolicy { return l.policy }
+
+// Bytes returns the cumulative record bytes appended.
+func (l *Log) Bytes() uint64 { return l.bytes.Load() }
+
+// Fsyncs returns the cumulative fsync count.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// Shards returns the shard count the log was opened with.
+func (l *Log) Shards() int { return len(l.shards) }
+
+// AppendCommits appends a batch of commit records to shard's segment:
+// one write per batch and, under SyncGroup, one fsync per batch (under
+// SyncAlways, one write and one fsync per record). It returns only
+// after the records are as durable as the policy promises, so the
+// commit pipeline may acknowledge the batch when it returns. Any
+// write or sync error poisons the log (see ErrLogFailed).
+func (l *Log) AppendCommits(shard int, recs []CommitRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := l.usable(); err != nil {
+		return err
+	}
+	s := l.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := l.ensureSegment(s); err != nil {
+		return l.poison(err)
+	}
+	if l.policy == SyncAlways {
+		for _, r := range recs {
+			if err := l.write(s, appendFrame(nil, r.encode(nil))); err != nil {
+				return l.poison(err)
+			}
+			if err := l.sync(s.f); err != nil {
+				return l.poison(err)
+			}
+			s.lastTS, s.records = r.TS, s.records+1
+		}
+		return nil
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = appendFrame(buf, r.encode(nil))
+	}
+	if err := l.write(s, buf); err != nil {
+		return l.poison(err)
+	}
+	if l.policy == SyncGroup {
+		if err := l.sync(s.f); err != nil {
+			return l.poison(err)
+		}
+	}
+	s.lastTS, s.records = recs[len(recs)-1].TS, s.records+len(recs)
+	return nil
+}
+
+// poison marks the log failed and passes err through.
+func (l *Log) poison(err error) error {
+	l.failed.Store(true)
+	return err
+}
+
+// usable reports (as an error) whether the log still accepts appends
+// and checkpoints.
+func (l *Log) usable() error {
+	if l.failed.Load() {
+		return ErrLogFailed
+	}
+	if l.closed.Load() {
+		return ErrLogClosed
+	}
+	return nil
+}
+
+// Failed reports whether the log has been poisoned by an append error.
+func (l *Log) Failed() bool { return l.failed.Load() }
+
+// AppendTable appends a table-creation record to the schema log. DDL
+// is rare, so it is fsynced regardless of policy (except SyncNone).
+func (l *Log) AppendTable(rec TableRecord) error {
+	if err := l.usable(); err != nil {
+		return err
+	}
+	l.schemaMu.Lock()
+	defer l.schemaMu.Unlock()
+	buf := appendFrame(nil, rec.encode(nil))
+	if _, err := l.schema.Write(buf); err != nil {
+		return l.poison(err)
+	}
+	l.bytes.Add(uint64(len(buf)))
+	if l.policy == SyncNone {
+		return nil
+	}
+	if err := l.sync(l.schema); err != nil {
+		return l.poison(err)
+	}
+	return nil
+}
+
+// ReplayTables streams every schema-log record to fn in append order
+// (original table-index order), stopping at a torn tail.
+func (l *Log) ReplayTables(fn func(TableRecord) error) error {
+	buf, err := os.ReadFile(filepath.Join(l.dir, "schema.log"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for {
+		payload, rest, ok := nextFrame(buf)
+		if !ok {
+			return nil
+		}
+		buf = rest
+		rec, err := decodeTable(payload)
+		if err != nil {
+			return err // CRC passed but payload malformed: real corruption
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplayCommits streams every durable commit record to fn, shard by
+// shard in segment order. Order across shards is arbitrary — callers
+// must apply records idempotently by commit timestamp (newer-wins per
+// row). Each segment is read up to its first bad frame (torn tail) and
+// registered for later checkpoint truncation by its newest timestamp.
+func (l *Log) ReplayCommits(fn func(CommitRecord) error) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		buf, err := os.ReadFile(sg.path)
+		if err != nil {
+			return err
+		}
+		var maxTS uint64
+		for {
+			payload, rest, ok := nextFrame(buf)
+			if !ok {
+				break
+			}
+			buf = rest
+			rec, err := decodeCommit(payload)
+			if err != nil {
+				return fmt.Errorf("wal: segment %s: %w", sg.path, err)
+			}
+			if rec.TS > maxTS {
+				maxTS = rec.TS
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		l.sealedMu.Lock()
+		l.sealedMax[sg.path] = maxTS
+		l.sealedMu.Unlock()
+	}
+	return nil
+}
+
+// TruncateBelow seals every shard's active segment (future appends
+// start fresh segments) and deletes sealed segments whose newest
+// record timestamp is at or below ts — their contents are fully
+// covered by the checkpoint at ts.
+func (l *Log) TruncateBelow(ts uint64) error {
+	for _, s := range l.shards {
+		s.mu.Lock()
+		if s.f != nil {
+			err := s.f.Close()
+			l.sealedMu.Lock()
+			l.sealedMax[s.path] = s.lastTS
+			l.sealedMu.Unlock()
+			s.f = nil
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	l.sealedMu.Lock()
+	defer l.sealedMu.Unlock()
+	var firstErr error
+	for path, max := range l.sealedMax {
+		if max <= ts {
+			if err := os.Remove(path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			delete(l.sealedMax, path)
+		}
+	}
+	if err := l.syncDir(filepath.Join(l.dir, "wal")); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close syncs and closes every open file and refuses appends from
+// then on (ErrLogClosed). Even under SyncNone a clean Close makes the
+// log durable; only a crash can lose its tail.
+func (l *Log) Close() error {
+	l.closed.Store(true)
+	var firstErr error
+	for _, s := range l.shards {
+		s.mu.Lock()
+		if s.f != nil {
+			if err := s.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := s.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.f = nil
+		}
+		s.mu.Unlock()
+	}
+	l.schemaMu.Lock()
+	if l.schema != nil {
+		if err := l.schema.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := l.schema.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		l.schema = nil
+	}
+	l.schemaMu.Unlock()
+	return firstErr
+}
+
+// ensureSegment opens the shard's next segment if none is active. The
+// caller holds s.mu. The closed re-check matters: an append that
+// passed the entry check can block on s.mu while Close drains the
+// shard — without it, the append would create a segment Close never
+// syncs.
+func (l *Log) ensureSegment(s *shardLog) error {
+	if l.closed.Load() {
+		return ErrLogClosed
+	}
+	if s.f != nil {
+		return nil
+	}
+	s.seq++
+	s.path = filepath.Join(l.dir, "wal", segmentName(s.shard, s.seq))
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.lastTS, s.records = 0, 0
+	if l.policy == SyncNone {
+		return nil
+	}
+	return l.syncDir(filepath.Join(l.dir, "wal"))
+}
+
+func (l *Log) write(s *shardLog, buf []byte) error {
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	l.bytes.Add(uint64(len(buf)))
+	return nil
+}
+
+func (l *Log) sync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// syncDir makes directory-entry changes (segment creation, removal,
+// checkpoint rename) durable.
+func (l *Log) syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		l.fsyncs.Add(1)
+	}
+	return err
+}
+
+func segmentName(shard, seq int) string {
+	return fmt.Sprintf("shard%03d-%08d.wal", shard, seq)
+}
+
+type segref struct {
+	path       string
+	shard, seq int
+}
+
+// segments lists the WAL segment files sorted by (shard, seq).
+func (l *Log) segments() ([]segref, error) {
+	ents, err := os.ReadDir(filepath.Join(l.dir, "wal"))
+	if err != nil {
+		return nil, err
+	}
+	var out []segref
+	for _, e := range ents {
+		var shard, seq int
+		if n, _ := fmt.Sscanf(e.Name(), "shard%03d-%08d.wal", &shard, &seq); n != 2 {
+			continue
+		}
+		out = append(out, segref{path: filepath.Join(l.dir, "wal", e.Name()), shard: shard, seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].shard != out[j].shard {
+			return out[i].shard < out[j].shard
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out, nil
+}

@@ -1,0 +1,419 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords(ts uint64, n int) []CommitRecord {
+	recs := make([]CommitRecord, n)
+	for i := range recs {
+		recs[i] = CommitRecord{
+			TS: ts + uint64(i),
+			Writes: []RedoWrite{
+				{Table: 0, Col: i % 3, Row: 10 + i, Val: int64(100 * i)},
+				{Table: 1, Col: 0, Row: i, Val: -1, Str: "str", HasStr: true},
+			},
+		}
+	}
+	return recs
+}
+
+func TestCommitRecordRoundtrip(t *testing.T) {
+	for _, rec := range testRecords(7, 4) {
+		got, err := decodeCommit(rec.encode(nil))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("roundtrip mismatch: got %+v want %+v", got, rec)
+		}
+	}
+	// Empty write set (legal encoding, even if the engine never logs one).
+	got, err := decodeCommit(CommitRecord{TS: 9}.encode(nil))
+	if err != nil || got.TS != 9 || len(got.Writes) != 0 {
+		t.Fatalf("empty record roundtrip: %+v, %v", got, err)
+	}
+}
+
+func TestTableRecordRoundtrip(t *testing.T) {
+	rec := TableRecord{Name: "acct", Rows: 4096, Columns: []ColumnDef{{"id", 0}, {"name", 3}}}
+	got, err := decodeTable(rec.encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, rec)
+	}
+}
+
+func TestDecodeRejectsTruncatedPayload(t *testing.T) {
+	full := testRecords(3, 1)[0].encode(nil)
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeCommit(full[:cut]); err == nil {
+			t.Fatalf("decodeCommit accepted %d of %d bytes", cut, len(full))
+		}
+	}
+}
+
+func replayAll(t *testing.T, l *Log) []CommitRecord {
+	t.Helper()
+	var got []CommitRecord
+	if err := l.ReplayCommits(func(r CommitRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 3, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for shard := 0; shard < 3; shard++ {
+		recs := testRecords(uint64(1+10*shard), 4)
+		if err := l.AppendCommits(shard, recs); err != nil {
+			t.Fatalf("append shard %d: %v", shard, err)
+		}
+		want += len(recs)
+	}
+	if l.Bytes() == 0 || l.Fsyncs() == 0 {
+		t.Fatalf("expected bytes and fsyncs counted, got %d / %d", l.Bytes(), l.Fsyncs())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, 3, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != want {
+		t.Fatalf("replayed %d records, want %d", len(got), want)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncGroup, SyncAlways, SyncNone} {
+		t.Run(p.String(), func(t *testing.T) {
+			l, err := Open(t.TempDir(), 1, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if err := l.AppendCommits(0, testRecords(1, 8)); err != nil {
+				t.Fatal(err)
+			}
+			fsyncs := l.Fsyncs()
+			switch p {
+			case SyncNone:
+				if fsyncs != 0 {
+					t.Fatalf("SyncNone issued %d fsyncs", fsyncs)
+				}
+			case SyncGroup:
+				// One dir sync for segment creation + one data sync for
+				// the whole 8-record batch.
+				if fsyncs != 2 {
+					t.Fatalf("SyncGroup issued %d fsyncs, want 2", fsyncs)
+				}
+			case SyncAlways:
+				if fsyncs < 8 {
+					t.Fatalf("SyncAlways issued %d fsyncs, want >= 8", fsyncs)
+				}
+			}
+			if roundtrip, err := ParseSyncPolicy(p.String()); err != nil || roundtrip != p {
+				t.Fatalf("ParseSyncPolicy(%q) = %v, %v", p.String(), roundtrip, err)
+			}
+		})
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted bogus policy")
+	}
+}
+
+func TestTornTailReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommits(0, testRecords(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: truncate the single segment by a few bytes.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 4 {
+		t.Fatalf("torn-tail replay returned %d records, want 4", len(got))
+	}
+	for i, r := range got {
+		if r.TS != uint64(1+i) {
+			t.Fatalf("record %d has TS %d, want %d", i, r.TS, 1+i)
+		}
+	}
+}
+
+func TestSchemaLogReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TableRecord{
+		{Name: "a", Rows: 16, Columns: []ColumnDef{{"x", 0}}},
+		{Name: "b", Rows: 32, Columns: []ColumnDef{{"y", 3}, {"z", 1}}},
+	}
+	for _, r := range want {
+		if err := l.AppendTable(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []TableRecord
+	if err := l2.ReplayTables(func(r TableRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schema replay mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestCheckpointRoundtripAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 2, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if err := l.AppendCommits(0, testRecords(1, 3)); err != nil { // TS 1..3
+		t.Fatal(err)
+	}
+	if err := l.AppendCommits(1, testRecords(4, 2)); err != nil { // TS 4..5
+		t.Fatal(err)
+	}
+
+	words := []uint64{7, 8, 9}
+	err = l.WriteCheckpoint(5, 1, func(w *CheckpointWriter) error {
+		if err := w.BeginTable("t", len(words), 1); err != nil {
+			return err
+		}
+		for _, v := range words { // data words
+			w.u64(v)
+		}
+		for range words { // wts words
+			w.u64(5)
+		}
+		return w.FinishTable([]string{"s0", "s1"})
+	})
+	if err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+
+	// Both segments' records are <= 5: truncation must have removed them.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if len(segs) != 0 {
+		t.Fatalf("expected WAL fully truncated, still have %v", segs)
+	}
+
+	ts, ok, err := l.LoadCheckpoint(func(ts uint64, ntables int, r *CheckpointReader) error {
+		if ntables != 1 {
+			t.Fatalf("ntables = %d", ntables)
+		}
+		name, rows, cols, err := r.TableHeader()
+		if err != nil {
+			return err
+		}
+		if name != "t" || rows != 3 || cols != 1 {
+			t.Fatalf("table header: %q %d %d", name, rows, cols)
+		}
+		for i := 0; i < 2*rows; i++ {
+			v, err := r.u64()
+			if err != nil {
+				return err
+			}
+			if i < rows && v != words[i] {
+				t.Fatalf("data word %d = %d, want %d", i, v, words[i])
+			}
+			if i >= rows && v != 5 {
+				t.Fatalf("wts word %d = %d, want 5", i-rows, v)
+			}
+		}
+		dict, err := r.TableDict()
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(dict, []string{"s0", "s1"}) {
+			t.Fatalf("table dict: %v", dict)
+		}
+		return nil
+	})
+	if err != nil || !ok || ts != 5 {
+		t.Fatalf("load checkpoint: ts=%d ok=%v err=%v", ts, ok, err)
+	}
+
+	// Records after the checkpoint survive the next truncation only if
+	// above its timestamp.
+	if err := l.AppendCommits(0, testRecords(6, 2)); err != nil { // TS 6..7
+		t.Fatal(err)
+	}
+	if err := l.TruncateBelow(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAllCount(t, dir); got != 2 {
+		t.Fatalf("post-checkpoint records: %d, want 2", got)
+	}
+}
+
+func replayAllCount(t *testing.T, dir string) int {
+	t.Helper()
+	l, err := Open(dir, 2, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return len(replayAll(t, l))
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	err = l.WriteCheckpoint(3, 1, func(w *CheckpointWriter) error {
+		if err := w.BeginTable("t", 0, 0); err != nil {
+			return err
+		}
+		return w.FinishTable(nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts, err := l.checkpoints()
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("checkpoints: %v, %v", ckpts, err)
+	}
+	// Flip one body byte: the whole-file CRC must reject the load.
+	buf, err := os.ReadFile(ckpts[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(ckpts[0].path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.LoadCheckpoint(func(uint64, int, *CheckpointReader) error { return nil }); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+func TestOpenRemovesOrphanedTempCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "checkpoint.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp checkpoint survived Open: %v", err)
+	}
+}
+
+func TestPoisonedLogRefusesAppends(t *testing.T) {
+	l, err := Open(t.TempDir(), 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendCommits(0, testRecords(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.failed.Store(true) // as the first write/sync error would
+	if err := l.AppendCommits(0, testRecords(2, 1)); err != ErrLogFailed {
+		t.Fatalf("poisoned append returned %v, want ErrLogFailed", err)
+	}
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 1}); err != ErrLogFailed {
+		t.Fatalf("poisoned schema append returned %v, want ErrLogFailed", err)
+	}
+}
+
+func TestClosedLogRefusesAppends(t *testing.T) {
+	l, err := Open(t.TempDir(), 1, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommits(0, testRecords(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCommits(0, testRecords(2, 1)); err != ErrLogClosed {
+		t.Fatalf("append after Close returned %v, want ErrLogClosed", err)
+	}
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 1}); err != ErrLogClosed {
+		t.Fatalf("schema append after Close returned %v, want ErrLogClosed", err)
+	}
+}
+
+func TestPoisonedLogRefusesCheckpoint(t *testing.T) {
+	l, err := Open(t.TempDir(), 1, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.failed.Store(true)
+	err = l.WriteCheckpoint(1, 0, func(*CheckpointWriter) error { return nil })
+	if err != ErrLogFailed {
+		t.Fatalf("checkpoint on poisoned log returned %v, want ErrLogFailed", err)
+	}
+}

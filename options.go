@@ -6,6 +6,7 @@ import (
 
 	"ankerdb/internal/phys"
 	"ankerdb/internal/snapshot"
+	"ankerdb/internal/wal"
 )
 
 // SnapshotStrategy selects the snapshot-creation technique OLAP
@@ -41,6 +42,8 @@ type config struct {
 	maxAge       time.Duration
 	schemas      []initialSchema
 	commitShards int // 0 = auto (GOMAXPROCS)
+	durDir       string
+	syncPolicy   SyncPolicy
 }
 
 // resolveCommitShards turns the configured shard count into the number
@@ -131,6 +134,50 @@ func AutoCommitShards() int { return runtime.GOMAXPROCS(0) }
 
 // WithInitialSchema creates the table at Open, before any transaction
 // can run. Equivalent to calling CreateTable immediately after Open.
+// With durability enabled, tables the recovered state already contains
+// are kept as recovered instead of re-created.
 func WithInitialSchema(schema Schema, rows int) Option {
 	return func(c *config) { c.schemas = append(c.schemas, initialSchema{schema, rows}) }
+}
+
+// SyncPolicy selects when write-ahead-log appends are fsynced; see the
+// policy constants. It only matters together with WithDurability.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for WithSyncPolicy.
+const (
+	// SyncGroupOnly (the default) fsyncs once per group-commit batch:
+	// every Commit that returns nil is durable, and the fsync cost
+	// amortizes over the batch exactly like the shard lock acquisition.
+	SyncGroupOnly = wal.SyncGroup
+	// SyncAlways fsyncs after every transaction's record individually,
+	// forgoing the group amortisation.
+	SyncAlways = wal.SyncAlways
+	// SyncNone appends without fsyncing: records reach the OS page
+	// cache only, so an OS crash (not a process crash followed by a
+	// clean Close) can lose recent commits. The fastest policy.
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy parses "always", "groupOnly" or "none" — the
+// spellings SyncPolicy.String returns. Benchmarks and tools use it to
+// sweep policies by name.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// WithDurability persists the database under dir: committed
+// transactions are redo-logged to a per-commit-shard write-ahead log
+// (appended and fsynced by the group-commit batch leader, so
+// durability amortizes across a batch), DB.Checkpoint writes
+// consistent snapshots that truncate the log, and Open replays
+// checkpoint + WAL when dir is non-empty. Without this option the
+// database is purely in-memory, with the exact pre-durability commit
+// path. Bulk loads (DB.Load/LoadStrings) bypass the WAL and become
+// durable at the next checkpoint.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithSyncPolicy sets the WAL fsync policy (default SyncGroupOnly).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *config) { c.syncPolicy = p }
 }

@@ -26,6 +26,14 @@ type Stats struct {
 	CommitShardConflicts uint64
 	GroupCommitSize      GroupCommitHist // batch-size distribution
 
+	// Durability subsystem (zero without WithDurability).
+	Durable              bool
+	SyncPolicy           string // "always", "groupOnly" or "none"
+	WALBytes             uint64 // record bytes appended to WAL + schema log
+	FsyncCount           uint64 // fsyncs issued (segments, schema log, checkpoints)
+	CheckpointCount      uint64 // checkpoints completed by this process
+	RecoveryReplayedTxns uint64 // WAL commit records re-applied by Open
+
 	// Snapshot lifecycle.
 	SnapshotsCreated    uint64        // column snapshots created
 	SnapshotsReleased   uint64        // column snapshots released
@@ -87,6 +95,9 @@ func (db *DB) Stats() Stats {
 		CommitBatches:        db.st.commitBatches.Load(),
 		CommitShardConflicts: db.st.crossShard.Load(),
 
+		CheckpointCount:      db.st.checkpoints.Load(),
+		RecoveryReplayedTxns: db.recoveredTxns,
+
 		SnapshotsCreated:   created,
 		SnapshotsReleased:  released,
 		ActiveSnapshots:    created - released,
@@ -100,6 +111,12 @@ func (db *DB) Stats() Stats {
 		VM:          db.proc.Stats(),
 		MappedBytes: db.proc.MappedBytes(),
 		NumVMAs:     db.proc.NumVMAs(),
+	}
+	if db.wal != nil {
+		s.Durable = true
+		s.SyncPolicy = db.wal.Policy().String()
+		s.WALBytes = db.wal.Bytes()
+		s.FsyncCount = db.wal.Fsyncs()
 	}
 	for i := range db.st.groupSizes {
 		s.GroupCommitSize.Buckets[i] = db.st.groupSizes[i].Load()
