@@ -1,0 +1,38 @@
+# Development entry points. CI runs the same commands, so a green
+# `make test bench-gate` locally is a green PR (modulo runner speed —
+# see bench-baseline).
+
+GO ?= go
+
+# The exact workload the bench-regression gate compares: keep the
+# baseline and the gate on identical arguments or the configurations
+# will not match up.
+BENCH_GATE_ARGS := -quick -bench commit -format json
+
+.PHONY: build test test-race bench bench-baseline bench-gate
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/ankerbench -quick
+
+# bench-baseline refreshes the committed bench-regression baseline.
+# Absolute throughput is machine-dependent: refresh it on the CI runner
+# class (or accept that a slower baseline machine weakens the gate and
+# a faster one tightens it), then commit bench/baseline.json on main.
+bench-baseline:
+	$(GO) run ./cmd/ankerbench $(BENCH_GATE_ARGS) > bench/baseline.json
+
+# bench-gate runs the same workload and fails on >25% commit-throughput
+# regression against the committed baseline (mean over the writer
+# sweep, per shard configuration).
+bench-gate:
+	$(GO) run ./cmd/ankerbench $(BENCH_GATE_ARGS) > bench-current.json
+	$(GO) run ./cmd/benchgate -baseline bench/baseline.json -current bench-current.json

@@ -51,7 +51,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit,durability", "comma-separated benchmarks to run: create, write, mixed, commit, durability")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,durability,recovery", "comma-separated benchmarks to run: create, write, mixed, commit, durability, recovery")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -62,6 +62,7 @@ var (
 	flagShards     = flag.String("shards", "1,0", "comma-separated commit shard counts for the commit and durability sweeps (0 = GOMAXPROCS)")
 	flagSync       = flag.String("sync", "none,groupOnly,always", "comma-separated WAL sync policies for the durability sweep")
 	flagDurDir     = flag.String("durdir", "", "durability directory root (default: a temp dir, removed afterwards)")
+	flagMaxWait    = flag.Duration("maxwait", 0, "group-commit leader max wait for followers (durability sweep; 0 = drain once)")
 	flagDur        = flag.Duration("dur", 2*time.Second, "duration per configuration (mixed, commit and durability benchmarks)")
 	flagZeroCost   = flag.Bool("zerocost", false, "disable the simulated kernel cost model")
 	flagFormat     = flag.String("format", "text", "output format: text, csv, json")
@@ -166,6 +167,9 @@ func main() {
 	}
 	if benches["durability"] {
 		benchDurability()
+	}
+	if benches["recovery"] {
+		benchRecovery()
 	}
 	flush()
 }
@@ -641,7 +645,8 @@ func benchDurability() {
 				ankerdb.WithCommitShards(shards),
 				ankerdb.WithSnapshotRefresh(0),
 				ankerdb.WithDurability(dir),
-				ankerdb.WithSyncPolicy(policy))
+				ankerdb.WithSyncPolicy(policy),
+				ankerdb.WithGroupCommitMaxWait(*flagMaxWait))
 			commits, aborts := runCommitters(db, *flagWriters, *flagDur)
 			st := db.Stats()
 			if err := db.Close(); err != nil {
@@ -693,6 +698,7 @@ func benchDurability() {
 				{"wal_bytes", float64(st.WALBytes)},
 				{"fsyncs", float64(st.FsyncCount)},
 				{"fsyncs_per_commit", fsyncsPerCommit},
+				{"group_max_wait_ns", float64(st.GroupCommitMaxWait.Nanoseconds())},
 				{"recovery_ns", float64(recovery.Nanoseconds())},
 				{"recovery_replayed_txns", float64(replayed)},
 				{"checkpoint_ns", float64(checkpoint.Nanoseconds())},
@@ -700,6 +706,129 @@ func benchDurability() {
 		}
 	}
 	textf("\n")
+}
+
+// benchRecovery is the restart-latency sweep: database size (rows per
+// column, carried in the "touch" dimension of the records) against
+// crash-recovery time and the transient memory the streaming recovery
+// path held. Each configuration builds a durable database with a bulk
+// load, a pre-checkpoint commit tail, a checkpoint, and a
+// post-checkpoint WAL tail — so the timed reopen exercises schema
+// replay, streaming checkpoint load, and WAL replay together.
+// recovery_peak_bytes staying flat while checkpoint_bytes grows with
+// rows is the O(chunk)-restart-memory evidence (the legacy reader
+// slurped whole files: peak tracked checkpoint size).
+func benchRecovery() {
+	sizes := []int{*flagRows, *flagRows * 4, *flagRows * 16}
+	root := *flagDurDir
+	if root == "" {
+		dir, err := os.MkdirTemp("", "ankerbench-recovery-")
+		if err != nil {
+			fail("recovery temp dir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		root = dir
+	}
+
+	textf("== recovery: DB size vs streaming restart latency (cols=%d) ==\n", *flagCols)
+	textf("%-10s  %12s  %12s  %12s  %10s  %10s\n",
+		"rows/col", "ckpt MiB", "WAL tail KiB", "recovery", "replayed", "peak KiB")
+	for _, rows := range sizes {
+		dir := filepath.Join(root, fmt.Sprintf("rows-%d", rows))
+		opts := func() []ankerdb.Option {
+			return []ankerdb.Option{
+				ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+				ankerdb.WithCostModel(costModel()),
+				ankerdb.WithSnapshotRefresh(0),
+				ankerdb.WithDurability(dir),
+			}
+		}
+		schema := ankerdb.Schema{Table: "bench"}
+		for c := 0; c < *flagCols; c++ {
+			schema.Columns = append(schema.Columns,
+				ankerdb.ColumnDef{Name: colName(c), Type: ankerdb.Int64})
+		}
+		db, err := ankerdb.Open(append(opts(), ankerdb.WithInitialSchema(schema, rows))...)
+		if err != nil {
+			fail("open %s: %v", dir, err)
+		}
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(i % 1000)
+		}
+		for c := 0; c < *flagCols; c++ {
+			if err := db.Load("bench", colName(c), vals); err != nil {
+				fail("load: %v", err)
+			}
+		}
+		commitN := func(n int) {
+			for i := 0; i < n; i++ {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					fail("%v", err)
+				}
+				for k := 0; k < 8; k++ {
+					if err := w.Set("bench", colName((i+k)%*flagCols), (i*8+k)%rows, int64(i)); err != nil {
+						fail("%v", err)
+					}
+				}
+				if err := w.Commit(); err != nil {
+					fail("commit: %v", err)
+				}
+			}
+		}
+		commitN(256)
+		if err := db.Checkpoint(); err != nil {
+			fail("checkpoint: %v", err)
+		}
+		commitN(256) // post-checkpoint WAL tail for replay
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
+		}
+		ckptBytes := globBytes(filepath.Join(dir, "checkpoint-*.ckpt"))
+		walBytes := globBytes(filepath.Join(dir, "wal", "*.wal"))
+
+		start := time.Now()
+		db2, err := ankerdb.Open(opts()...)
+		if err != nil {
+			fail("reopen %s: %v", dir, err)
+		}
+		recovery := time.Since(start)
+		st := db2.Stats()
+		if err := db2.Close(); err != nil {
+			fail("close: %v", err)
+		}
+
+		textf("%-10d  %12.2f  %12.1f  %12v  %10d  %10.1f\n", rows,
+			float64(ckptBytes)/(1<<20), float64(walBytes)/(1<<10), recovery,
+			st.RecoveryReplayedTxns, float64(st.RecoveryPeakBytes)/(1<<10))
+		base := record{Bench: "recovery", Strategy: string(ankerdb.VMSnap),
+			Shards: st.CommitShards, Writers: -1, Scanners: -1, Touch: rows}
+		emitAll(base, []metric{
+			{"recovery_ns", float64(recovery.Nanoseconds())},
+			{"recovery_peak_bytes", float64(st.RecoveryPeakBytes)},
+			{"recovery_replayed_txns", float64(st.RecoveryReplayedTxns)},
+			{"recovery_replayed_loads", float64(st.RecoveryReplayedLoads)},
+			{"checkpoint_bytes", float64(ckptBytes)},
+			{"wal_tail_bytes", float64(walBytes)},
+		})
+	}
+	textf("\n")
+}
+
+// globBytes sums the sizes of files matching pattern.
+func globBytes(pattern string) int64 {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fail("glob %s: %v", pattern, err)
+	}
+	var n int64
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			n += fi.Size()
+		}
+	}
+	return n
 }
 
 func parseSyncPolicies() []ankerdb.SyncPolicy {

@@ -1,0 +1,175 @@
+// Command benchgate is the CI bench-regression gate: it compares a
+// fresh ankerbench machine-readable artifact against a committed
+// baseline and exits non-zero when commit throughput regressed beyond
+// a threshold — so a commit-path slowdown (the paper's Figure 11
+// result) fails the build instead of shipping silently.
+//
+// Both inputs are ankerbench -format json outputs (one flat record per
+// metric). Only throughput records (-metric, default commits_per_sec)
+// are compared. Per-point numbers from short CI runs are noisy, so the
+// gate aggregates: records are grouped by (bench, strategy, shards)
+// and the MEAN over the writer sweep is compared per group. A group
+// present in both files whose current mean falls more than -threshold
+// (default 0.25) below the baseline mean is a regression; groups
+// present in only one file (e.g. a different GOMAXPROCS resolving the
+// auto shard count differently) are reported but never fail the gate.
+//
+// Refresh the baseline on the CI runner class with `make
+// bench-baseline` — absolute throughput is machine-dependent, so a
+// baseline recorded on different hardware only bounds regressions
+// relative to that hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record mirrors ankerbench's flat metric schema.
+type record struct {
+	Bench    string  `json:"bench"`
+	Strategy string  `json:"strategy"`
+	Shards   int     `json:"shards"`
+	Writers  int     `json:"writers"`
+	Scanners int     `json:"scanners"`
+	Touch    int     `json:"touch"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+}
+
+// groupKey identifies one benchmark configuration whose writer sweep
+// is averaged into a single comparable number.
+type groupKey struct {
+	Bench    string
+	Strategy string
+	Shards   int
+}
+
+func (k groupKey) String() string {
+	return fmt.Sprintf("%s/%s/shards=%d", k.Bench, k.Strategy, k.Shards)
+}
+
+// result is one gate comparison.
+type result struct {
+	Key        groupKey
+	Base, Cur  float64
+	Ratio      float64 // Cur / Base
+	Regression bool
+}
+
+// groupMeans averages the selected metric per configuration.
+func groupMeans(recs []record, metric string) map[groupKey]float64 {
+	sums := map[groupKey]float64{}
+	counts := map[groupKey]int{}
+	for _, r := range recs {
+		if r.Metric != metric {
+			continue
+		}
+		k := groupKey{r.Bench, r.Strategy, r.Shards}
+		sums[k] += r.Value
+		counts[k]++
+	}
+	means := make(map[groupKey]float64, len(sums))
+	for k, s := range sums {
+		means[k] = s / float64(counts[k])
+	}
+	return means
+}
+
+// compare gates current against baseline: every configuration present
+// in both is a result; regressed reports whether any fell below
+// base*(1-threshold). onlyBase/onlyCur list configurations without a
+// counterpart (informational).
+func compare(baseline, current []record, metric string, threshold float64) (results []result, onlyBase, onlyCur []groupKey, regressed bool) {
+	base := groupMeans(baseline, metric)
+	cur := groupMeans(current, metric)
+	for k, b := range base {
+		c, ok := cur[k]
+		if !ok {
+			onlyBase = append(onlyBase, k)
+			continue
+		}
+		r := result{Key: k, Base: b, Cur: c}
+		if b > 0 {
+			r.Ratio = c / b
+			r.Regression = c < b*(1-threshold)
+		}
+		regressed = regressed || r.Regression
+		results = append(results, r)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			onlyCur = append(onlyCur, k)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Key.String() < results[j].Key.String() })
+	sort.Slice(onlyBase, func(i, j int) bool { return onlyBase[i].String() < onlyBase[j].String() })
+	sort.Slice(onlyCur, func(i, j int) bool { return onlyCur[i].String() < onlyCur[j].String() })
+	return results, onlyBase, onlyCur, regressed
+}
+
+func readRecords(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	var recs []record
+	if err := json.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/baseline.json", "committed baseline artifact (ankerbench -format json)")
+	currentPath := flag.String("current", "", "fresh artifact to gate (required)")
+	metric := flag.String("metric", "commits_per_sec", "throughput metric to compare")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated regression fraction")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := readRecords(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := readRecords(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	results, onlyBase, onlyCur, regressed := compare(baseline, current, *metric, *threshold)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no comparable %q configurations between %s and %s\n",
+			*metric, *baselinePath, *currentPath)
+		os.Exit(2)
+	}
+	fmt.Printf("benchgate: %s, fail below %.0f%% of baseline (means over the writer sweep)\n",
+		*metric, 100*(1-*threshold))
+	for _, r := range results {
+		verdict := "ok"
+		if r.Regression {
+			verdict = "REGRESSION"
+		}
+		fmt.Printf("  %-40s  base %12.0f  current %12.0f  %6.2fx  %s\n",
+			r.Key, r.Base, r.Cur, r.Ratio, verdict)
+	}
+	for _, k := range onlyBase {
+		fmt.Printf("  %-40s  only in baseline (skipped)\n", k)
+	}
+	for _, k := range onlyCur {
+		fmt.Printf("  %-40s  only in current (skipped)\n", k)
+	}
+	if regressed {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

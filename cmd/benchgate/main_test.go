@@ -1,0 +1,79 @@
+package main
+
+import "testing"
+
+func recs(bench string, shards int, vals ...float64) []record {
+	out := make([]record, 0, len(vals))
+	for i, v := range vals {
+		out = append(out, record{
+			Bench: bench, Strategy: "vmsnap", Shards: shards,
+			Writers: 1 << i, Metric: "commits_per_sec", Value: v,
+		})
+	}
+	return out
+}
+
+func TestGatePassesOnEqualRuns(t *testing.T) {
+	base := append(recs("commit", 1, 1000, 2000, 4000), recs("commit", 4, 3000, 6000, 9000)...)
+	results, onlyBase, onlyCur, regressed := compare(base, base, "commits_per_sec", 0.25)
+	if regressed {
+		t.Fatal("identical runs flagged as regression")
+	}
+	if len(results) != 2 || len(onlyBase) != 0 || len(onlyCur) != 0 {
+		t.Fatalf("results=%d onlyBase=%d onlyCur=%d, want 2/0/0", len(results), len(onlyBase), len(onlyCur))
+	}
+	for _, r := range results {
+		if r.Ratio != 1 {
+			t.Fatalf("%s ratio = %v, want 1", r.Key, r.Ratio)
+		}
+	}
+}
+
+// TestGateRedOnInjectedSlowdown is the acceptance scenario: a 2×
+// commit-latency sleep halves throughput across the sweep, which must
+// trip the 25% threshold.
+func TestGateRedOnInjectedSlowdown(t *testing.T) {
+	base := recs("commit", 1, 1000, 2000, 4000)
+	halved := recs("commit", 1, 500, 1000, 2000)
+	_, _, _, regressed := compare(base, halved, "commits_per_sec", 0.25)
+	if !regressed {
+		t.Fatal("2x slowdown not flagged")
+	}
+}
+
+func TestGateToleratesNoiseWithinThreshold(t *testing.T) {
+	base := recs("commit", 1, 1000, 2000, 4000) // mean ~2333
+	noisy := recs("commit", 1, 900, 1900, 3500) // mean 2100, -10%
+	_, _, _, regressed := compare(base, noisy, "commits_per_sec", 0.25)
+	if regressed {
+		t.Fatal("10% noise flagged as regression")
+	}
+}
+
+// TestGateSkipsUnmatchedConfigs: a runner whose GOMAXPROCS resolves the
+// auto shard count differently produces configurations the baseline
+// lacks; those are reported, never failed on.
+func TestGateSkipsUnmatchedConfigs(t *testing.T) {
+	base := append(recs("commit", 1, 1000, 2000), recs("commit", 8, 8000)...)
+	cur := append(recs("commit", 1, 1000, 2000), recs("commit", 2, 100)...)
+	results, onlyBase, onlyCur, regressed := compare(base, cur, "commits_per_sec", 0.25)
+	if regressed {
+		t.Fatal("unmatched configuration failed the gate")
+	}
+	if len(results) != 1 || len(onlyBase) != 1 || len(onlyCur) != 1 {
+		t.Fatalf("results=%d onlyBase=%d onlyCur=%d, want 1/1/1", len(results), len(onlyBase), len(onlyCur))
+	}
+}
+
+// TestGateIgnoresOtherMetrics: aborts, env records and other metrics in
+// the artifact must not enter the throughput comparison.
+func TestGateIgnoresOtherMetrics(t *testing.T) {
+	base := recs("commit", 1, 1000)
+	cur := append(recs("commit", 1, 1000),
+		record{Bench: "commit", Strategy: "vmsnap", Shards: 1, Metric: "aborts", Value: 1e9},
+		record{Bench: "env", Shards: -1, Metric: "gomaxprocs", Value: 1})
+	_, _, _, regressed := compare(base, cur, "commits_per_sec", 0.25)
+	if regressed {
+		t.Fatal("non-throughput metric affected the gate")
+	}
+}

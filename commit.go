@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
@@ -53,6 +54,16 @@ type commitShard struct {
 
 	qmu   sync.Mutex
 	queue []*commitReq
+}
+
+// drain takes the current queue. The caller holds the shard commit
+// lock, so every drained request is processed before the lock drops.
+func (s *commitShard) drain() []*commitReq {
+	s.qmu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	return batch
 }
 
 // commitReq is one transaction waiting in a shard's group-commit queue.
@@ -130,11 +141,25 @@ func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState) error {
 	default:
 	}
 
+	if db.groupMaxWait > 0 {
+		// WithGroupCommitMaxWait: linger before contending for the
+		// shard lock, so committers arriving within the window pile up
+		// in the queue and whoever wakes first processes them as one
+		// batch (one validation pass, one fsync). The wait happens
+		// OUTSIDE the shard lock — snapshot capture, checkpoints and
+		// cross-shard commits are never stalled behind a sleeping
+		// leader — and a request a concurrent leader already processed
+		// returns without touching the lock at all.
+		time.Sleep(db.groupMaxWait)
+		select {
+		case err := <-req.errc:
+			return db.finishGrouped(req, err)
+		default:
+		}
+	}
+
 	s.mu.Lock()
-	s.qmu.Lock()
-	batch := s.queue
-	s.queue = nil
-	s.qmu.Unlock()
+	batch := s.drain()
 	if len(batch) > 0 {
 		db.runBatch(s, batch)
 	}
@@ -200,6 +225,7 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 	var walErr error
 	if len(recs) > 0 {
 		walErr = db.wal.AppendCommits(s.id, recs)
+		db.kickAutoCkpt()
 	}
 	for _, req := range done {
 		db.oracle.Complete(req.ts)
@@ -255,6 +281,7 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	var walErr error
 	if db.wal != nil {
 		walErr = db.wal.AppendCommits(ids[0], []wal.CommitRecord{db.redoRecord(rec)})
+		db.kickAutoCkpt()
 	}
 	db.oracle.Complete(ts)
 	db.maintainShards(shards, 1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/snapshot"
@@ -44,11 +45,30 @@ type DB struct {
 	// batch leaders redo-log whole commit batches under the shard
 	// commit lock, and Checkpoint/recovery live in durability.go.
 	wal        *wal.Log
-	ckptMu     sync.Mutex // one checkpoint at a time
+	ckptMu     sync.Mutex // one checkpoint (or durable bulk load) at a time
 	recovering bool       // Open-time replay: skip re-logging DDL
-	// recoveredTxns is the number of WAL commit records replayed by
-	// Open; written once before the DB is shared, read by Stats.
-	recoveredTxns uint64
+	// recoveredTxns/recoveredLoads are the numbers of WAL commit and
+	// bulk-load records replayed by Open; written once before the DB is
+	// shared, read by Stats.
+	recoveredTxns  uint64
+	recoveredLoads uint64
+
+	// Automatic checkpoint scheduling (channels nil when disabled):
+	// kickAutoCkpt wakes the scheduler past a WAL-growth threshold,
+	// closing ckptQuit stops it, and Close waits on ckptDone so the log
+	// outlives any in-flight scheduled checkpoint. The baselines are the
+	// WAL counters at the last completed checkpoint.
+	autoCkptBytes   uint64
+	autoCkptRecords uint64
+	ckptBaseBytes   atomic.Uint64
+	ckptBaseRecords atomic.Uint64
+	ckptKick        chan struct{}
+	ckptQuit        chan struct{}
+	ckptDone        chan struct{}
+
+	// groupMaxWait is how long a group-commit leader waits for
+	// followers before processing its batch (WithGroupCommitMaxWait).
+	groupMaxWait time.Duration
 
 	// gcKick wakes the watermark-driven recent-list pruner (one
 	// buffered slot: pruning is idempotent, kicks may coalesce);
@@ -66,19 +86,20 @@ type DB struct {
 }
 
 type dbCounters struct {
-	commits       atomic.Uint64 // counted in maintainShards, drives periodic vacuum
-	completions   atomic.Uint64 // counted in the complete hook, drives recent-list pruning
-	emptyCommits  atomic.Uint64
-	aborts        atomic.Uint64
-	conflicts     atomic.Uint64
-	oltpBegun     atomic.Uint64
-	olapBegun     atomic.Uint64
-	vacuums       atomic.Uint64
-	versionsGCed  atomic.Int64
-	commitBatches atomic.Uint64
-	crossShard    atomic.Uint64
-	checkpoints   atomic.Uint64
-	groupSizes    [8]atomic.Uint64
+	commits         atomic.Uint64 // counted in maintainShards, drives periodic vacuum
+	completions     atomic.Uint64 // counted in the complete hook, drives recent-list pruning
+	emptyCommits    atomic.Uint64
+	aborts          atomic.Uint64
+	conflicts       atomic.Uint64
+	oltpBegun       atomic.Uint64
+	olapBegun       atomic.Uint64
+	vacuums         atomic.Uint64
+	versionsGCed    atomic.Int64
+	commitBatches   atomic.Uint64
+	crossShard      atomic.Uint64
+	checkpoints     atomic.Uint64
+	autoCheckpoints atomic.Uint64
+	groupSizes      [8]atomic.Uint64
 }
 
 // table pairs the storage-layer arrays with the per-column MVCC state
@@ -128,15 +149,18 @@ func Open(opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		proc:   proc,
-		strat:  strat,
-		alloc:  columnAlloc(proc, strat),
-		oracle: &mvcc.Oracle{},
-		activ:  mvcc.NewActiveSet(),
-		shards: newCommitShards(cfg.resolveCommitShards()),
-		tables: map[string]*table{},
-		gcKick: make(chan struct{}, 1),
-		gcQuit: make(chan struct{}),
+		proc:            proc,
+		strat:           strat,
+		alloc:           columnAlloc(proc, strat),
+		oracle:          &mvcc.Oracle{},
+		activ:           mvcc.NewActiveSet(),
+		shards:          newCommitShards(cfg.resolveCommitShards()),
+		tables:          map[string]*table{},
+		gcKick:          make(chan struct{}, 1),
+		gcQuit:          make(chan struct{}),
+		autoCkptBytes:   cfg.autoCkptBytes,
+		autoCkptRecords: cfg.autoCkptRecords,
+		groupMaxWait:    cfg.groupMaxWait,
 	}
 	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
 	db.oracle.SetCompleteHook(db.onComplete)
@@ -164,6 +188,17 @@ func Open(opts ...Option) (*DB, error) {
 		}
 	}
 	go db.recentPruner()
+	if db.wal != nil && (cfg.autoCkptBytes > 0 || cfg.autoCkptRecords > 0 || cfg.autoCkptInterval > 0) {
+		db.ckptKick = make(chan struct{}, 1)
+		db.ckptQuit = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.autoCheckpointer(cfg.autoCkptInterval)
+		// Recovery seeded the WAL counters with the replayed tail, so a
+		// tail past a threshold is checkpointed away now instead of
+		// being re-replayed by every subsequent Open; smaller tails fall
+		// to the interval timer.
+		db.kickAutoCkpt()
+	}
 	return db, nil
 }
 
@@ -331,7 +366,11 @@ func (db *DB) columnByID(id mvcc.ColumnID) *column {
 // transaction: write timestamps stay zero, so the values behave as the
 // state at time zero. It must not run concurrently with transactions;
 // it exists so benchmarks can populate large columns without paying the
-// versioning machinery.
+// versioning machinery. With durability enabled the load is redo-logged
+// as chunked bulk-load records through the column's shard WAL before it
+// is applied, so it survives a crash without waiting for a checkpoint;
+// because loads are time-zero state, any committed write to the same
+// row wins over the load at recovery.
 func (db *DB) Load(tab, col string, vals []int64) error {
 	c, err := db.lookup(tab, col)
 	if err != nil {
@@ -340,12 +379,13 @@ func (db *DB) Load(tab, col string, vals []int64) error {
 	if len(vals) > c.data.Rows() {
 		return fmt.Errorf("%w: %d values into %d rows", ErrRowRange, len(vals), c.data.Rows())
 	}
-	c.data.Fill(vals)
-	return nil
+	return db.loadColumn(c, vals, nil)
 }
 
 // LoadStrings bulk-loads a VARCHAR column, encoding through the table
-// dictionary. Same caveats as Load.
+// dictionary. Same caveats and durability behaviour as Load; the WAL
+// records carry the decoded strings, re-encoded through the recovered
+// dictionary at replay exactly like VARCHAR commit records.
 func (db *DB) LoadStrings(tab, col string, vals []string) error {
 	c, err := db.lookup(tab, col)
 	if err != nil {
@@ -354,11 +394,36 @@ func (db *DB) LoadStrings(tab, col string, vals []string) error {
 	if c.def.Type != Varchar {
 		return fmt.Errorf("%w: %s is %s, want VARCHAR", ErrType, col, c.def.Type)
 	}
-	codes := make([]int64, len(vals))
-	for i, s := range vals {
-		codes[i] = c.dict.Encode(s)
+	if len(vals) > c.data.Rows() {
+		return fmt.Errorf("%w: %d values into %d rows", ErrRowRange, len(vals), c.data.Rows())
 	}
-	return db.Load(tab, col, codes)
+	return db.loadColumn(c, nil, vals)
+}
+
+// loadColumn applies a bulk load (one of vals/strs is set), WAL-logging
+// it first when durable. The checkpoint mutex serialises the whole load
+// against checkpoints — manual and scheduled alike — so a checkpoint
+// can never capture half an applied load and then truncate away the
+// records of the other half.
+func (db *DB) loadColumn(c *column, vals []int64, strs []string) error {
+	if db.wal != nil {
+		db.ckptMu.Lock()
+		defer db.ckptMu.Unlock()
+		if err := db.logLoad(c, vals, strs); err != nil {
+			return err
+		}
+		defer db.kickAutoCkpt()
+	}
+	if strs != nil {
+		codes := make([]int64, len(strs))
+		for i, s := range strs {
+			codes[i] = c.dict.Encode(s)
+		}
+		c.data.Fill(codes)
+		return nil
+	}
+	c.data.Fill(vals)
+	return nil
 }
 
 // gcFloor returns the oldest timestamp any state reader may still need:
@@ -394,8 +459,10 @@ func (db *DB) Vacuum() int64 {
 }
 
 // Close releases the manager's pin on the current snapshot generation,
-// stops the background pruner, syncs and closes the write-ahead log
-// (so even under SyncNone a clean shutdown is durable), and marks the
+// stops the background pruner and the checkpoint scheduler (waiting
+// out any checkpoint the scheduler already started, so the log is
+// never closed under it), syncs and closes the write-ahead log (so
+// even under SyncNone a clean shutdown is durable), and marks the
 // database closed. Transactions still running keep their pinned
 // snapshots alive until they finish.
 func (db *DB) Close() error {
@@ -407,6 +474,10 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.mu.Unlock()
 	close(db.gcQuit)
+	if db.ckptQuit != nil {
+		close(db.ckptQuit)
+		<-db.ckptDone
+	}
 	db.snaps.close()
 	if db.wal != nil {
 		return db.wal.Close()

@@ -13,9 +13,16 @@
 //   - internal/mvcc: version chains, precision-locking validation and
 //     the timestamp oracle
 //   - internal/wal: the durability subsystem — per-commit-shard
-//     write-ahead log with group-commit fsync batching,
-//     snapshot-driven checkpoints and crash recovery (enabled with
+//     write-ahead log with group-commit fsync batching, WAL-logged
+//     bulk loads, snapshot-driven checkpoints (manual or scheduled),
+//     and streaming O(chunk)-memory crash recovery (enabled with
 //     WithDurability; the default remains purely in-memory)
+//
+// Open-time options: WithSnapshotStrategy, WithCostModel,
+// WithPageSize, WithSnapshotRefresh, WithSnapshotMaxAge,
+// WithInitialSchema, WithCommitShards, WithGroupCommitMaxWait,
+// WithDurability, WithSyncPolicy, WithAutoCheckpoint,
+// WithAutoCheckpointInterval.
 //
 // Short modifying OLTP transactions stage writes locally, validate
 // against recently committed writers at commit (precision locking, so

@@ -1,7 +1,9 @@
 package ankerdb
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
@@ -9,8 +11,9 @@ import (
 )
 
 // Durability glue between the engine and internal/wal: redo-record
-// conversion for the commit pipeline, snapshot-driven checkpointing,
-// and Open-time crash recovery.
+// conversion for the commit pipeline, snapshot-driven checkpointing
+// (manual and scheduler-driven), durable bulk loads, and Open-time
+// crash recovery.
 
 // tableRecord converts a schema into its schema-log form.
 func tableRecord(schema Schema, rows int) wal.TableRecord {
@@ -64,7 +67,11 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.RUnlock()
 
-	g := db.snaps.acquire()
+	// A fresh generation, not the current one: a column snapshot cached
+	// in the current generation by an earlier OLAP pin could predate a
+	// bulk load, and checkpointing it would persist pre-load data while
+	// the truncation below reclaims the load's (timestamp-less) records.
+	g := db.snaps.acquireFresh()
 	defer db.snaps.release(g)
 	// Capture the table list only after the generation's timestamp is
 	// pinned: any table created from here on can only receive commit
@@ -105,8 +112,113 @@ func (db *DB) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	// Reset the scheduler's growth baselines: thresholds measure WAL
+	// growth since THIS checkpoint from now on. Written under ckptMu, so
+	// a manual checkpoint also pushes the automatic one out.
+	db.ckptBaseBytes.Store(db.wal.Bytes())
+	db.ckptBaseRecords.Store(db.wal.Records())
 	db.st.checkpoints.Add(1)
 	return nil
+}
+
+// autoCkptDue reports whether WAL growth since the last checkpoint has
+// crossed a configured auto-checkpoint threshold. Reads only atomics:
+// it runs on the commit path (to decide whether to kick the scheduler)
+// and in the scheduler itself.
+func (db *DB) autoCkptDue() bool {
+	if db.autoCkptBytes > 0 && db.wal.Bytes()-db.ckptBaseBytes.Load() >= db.autoCkptBytes {
+		return true
+	}
+	if db.autoCkptRecords > 0 && db.wal.Records()-db.ckptBaseRecords.Load() >= db.autoCkptRecords {
+		return true
+	}
+	return false
+}
+
+// kickAutoCkpt wakes the checkpoint scheduler if a growth threshold is
+// crossed. One buffered slot: checkpointing is idempotent, kicks
+// coalesce. Called after WAL appends (batch leaders and bulk loads),
+// outside any shard lock hold that matters — it is one atomic
+// comparison plus a non-blocking send.
+func (db *DB) kickAutoCkpt() {
+	if db.ckptKick == nil || !db.autoCkptDue() {
+		return
+	}
+	select {
+	case db.ckptKick <- struct{}{}:
+	default: // a kick is already pending
+	}
+}
+
+// autoCheckpointer is the background checkpoint scheduler (started by
+// Open when WithAutoCheckpoint / WithAutoCheckpointInterval configure a
+// trigger): it checkpoints when kicked past a WAL-growth threshold, and
+// — with an interval configured — whenever the timer finds new records
+// appended since the last checkpoint. All runs go through Checkpoint()
+// and its mutex, so scheduler, manual callers, and Close never overlap;
+// Close waits for the scheduler to drain before closing the log.
+func (db *DB) autoCheckpointer(interval time.Duration) {
+	defer close(db.ckptDone)
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-db.ckptQuit:
+			return
+		case <-db.ckptKick:
+			if !db.autoCkptDue() {
+				continue // a racing manual checkpoint already covered it
+			}
+		case <-tick:
+			if db.wal.Records() == db.ckptBaseRecords.Load() {
+				continue // nothing new since the last checkpoint
+			}
+		}
+		switch err := db.Checkpoint(); {
+		case err == nil:
+			db.st.autoCheckpoints.Add(1)
+		case errors.Is(err, ErrClosed), errors.Is(err, wal.ErrLogClosed):
+			return // shutting down
+		default:
+			// Poisoned log or I/O failure: nothing to do here — commits
+			// are already failing loudly, and retrying on the next
+			// trigger is free.
+		}
+	}
+}
+
+// loadChunkRows bounds one bulk-load WAL record: large loads become a
+// series of window records, so replay (and the torn-tail blast radius)
+// stays O(chunk) however big the load is.
+const loadChunkRows = 8192
+
+// logLoad appends a bulk load's chunk records (one of vals/strs is
+// set) to the column's shard WAL: one write per chunk, one fsync for
+// the whole load. Called with ckptMu held — see loadColumn.
+func (db *DB) logLoad(c *column, vals []int64, strs []string) error {
+	n := len(vals)
+	if strs != nil {
+		n = len(strs)
+	}
+	recs := make([]wal.LoadRecord, 0, (n+loadChunkRows-1)/loadChunkRows)
+	for start := 0; start < n; start += loadChunkRows {
+		end := start + loadChunkRows
+		if end > n {
+			end = n
+		}
+		rec := wal.LoadRecord{Table: c.id.Table, Col: c.id.Col, Start: start}
+		if strs != nil {
+			rec.Strs, rec.HasStrs = strs[start:end], true
+		} else {
+			rec.Vals = vals[start:end]
+		}
+		recs = append(recs, rec)
+	}
+	return db.wal.AppendLoads(db.shardOf(c.id), recs)
 }
 
 // recover rebuilds engine state from the durability directory: replay
@@ -138,7 +250,7 @@ func (db *DB) recover() error {
 		return fmt.Errorf("ankerdb: recovery: %w", err)
 	}
 
-	var replayed uint64
+	var replayed, loads uint64
 	maxTS := ckptTS
 	if ckptMaxWTS > maxTS {
 		// The checkpoint may have captured rows committed after its
@@ -149,7 +261,33 @@ func (db *DB) recover() error {
 		maxTS = ckptMaxWTS
 	}
 	cols := make([]*column, 0, 8)
-	if err := db.wal.ReplayCommits(func(rec wal.CommitRecord) error {
+	if err := db.wal.ReplayCommits(func(rec wal.LoadRecord) error {
+		// Bulk-load chunks are the state at time zero: a chunk value
+		// lands only on rows no commit has ever stamped, so replay is
+		// idempotent and insensitive to ordering against commit records
+		// — any committed write (timestamp > 0, whether recovered from
+		// the checkpoint or replayed) wins over a load. Chunks beyond
+		// the durable schema prefix are skipped like commit records.
+		c, ok := db.recoveredLoadColumn(rec)
+		if !ok {
+			return nil
+		}
+		if rec.HasStrs {
+			for i, s := range rec.Strs {
+				if row := rec.Start + i; c.wts.GetU(row) == 0 {
+					c.data.Set(row, c.dict.Encode(s))
+				}
+			}
+		} else {
+			for i, v := range rec.Vals {
+				if row := rec.Start + i; c.wts.GetU(row) == 0 {
+					c.data.Set(row, v)
+				}
+			}
+		}
+		loads++
+		return nil
+	}, func(rec wal.CommitRecord) error {
 		if rec.TS > maxTS {
 			maxTS = rec.TS
 		}
@@ -192,6 +330,7 @@ func (db *DB) recover() error {
 
 	db.oracle.Seed(maxTS)
 	db.recoveredTxns = replayed
+	db.recoveredLoads = loads
 	return nil
 }
 
@@ -213,12 +352,40 @@ func (db *DB) recoveredColumn(w wal.RedoWrite) (*column, bool) {
 	return c, true
 }
 
-// loadCheckpoint loads the newest checkpoint, if any, into the
-// recreated tables. It returns the checkpoint timestamp and the
-// maximum write timestamp of any loaded row (both 0 without a
-// checkpoint) — the latter can exceed the former when the checkpoint
-// captured rows committed after its timestamp, and the oracle must be
-// seeded above it.
+// recoveredLoadColumn resolves a bulk-load chunk's column and validates
+// its window and value type against the recovered schema; ok is false
+// when the durable schema prefix does not cover it.
+func (db *DB) recoveredLoadColumn(r wal.LoadRecord) (*column, bool) {
+	if r.Table < 0 || r.Table >= len(db.tabList) {
+		return nil, false
+	}
+	t := db.tabList[r.Table]
+	if r.Col < 0 || r.Col >= len(t.cols) {
+		return nil, false
+	}
+	c := t.cols[r.Col]
+	n := len(r.Vals)
+	if r.HasStrs {
+		n = len(r.Strs)
+	}
+	if r.Start < 0 || n > c.data.Rows()-r.Start {
+		return nil, false
+	}
+	if r.HasStrs != (c.def.Type == Varchar) {
+		return nil, false
+	}
+	return c, true
+}
+
+// loadCheckpoint streams the newest checkpoint, if any, into the
+// recreated tables: column bodies arrive as fixed-size word windows
+// (storage.ReadWordsRegion) stored in place through page-wise bulk
+// writes, so restart memory stays O(chunk) however large the columns
+// are. It returns the checkpoint timestamp and the maximum write
+// timestamp of any loaded row (both 0 without a checkpoint) — the
+// latter can exceed the former when the checkpoint captured rows
+// committed after its timestamp, and the oracle must be seeded above
+// it.
 func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 	var maxWTS uint64
 	ts, ok, err := db.wal.LoadCheckpoint(func(_ uint64, ntables int, r *wal.CheckpointReader) error {
@@ -236,14 +403,16 @@ func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 					name, rows, cols, t.st.Rows(), len(t.cols))
 			}
 			for _, c := range t.cols {
-				if err := storage.ReadWords(r, rows, c.data.SetU); err != nil {
+				if err := storage.ReadWordsRegion(r, rows, c.data.FillWindow); err != nil {
 					return err
 				}
-				if err := storage.ReadWords(r, rows, func(row int, v uint64) {
-					if v > maxWTS {
-						maxWTS = v
+				if err := storage.ReadWordsRegion(r, rows, func(start int, words []uint64) {
+					for _, v := range words {
+						if v > maxWTS {
+							maxWTS = v
+						}
 					}
-					c.wts.SetU(row, v)
+					c.wts.FillWindow(start, words)
 				}); err != nil {
 					return err
 				}

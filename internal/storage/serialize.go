@@ -49,3 +49,31 @@ func ReadWords(r io.Reader, n int, set func(row int, v uint64)) error {
 	}
 	return nil
 }
+
+// ReadWordsRegion is the region-window variant of ReadWords: it decodes
+// n words chunk-wise into a reusable window and hands each (start,
+// words) window to fill, so a consumer can store a whole contiguous
+// region slice at once (one page-wise bulk write through the simulated
+// address space) instead of paying the per-word accessor indirection.
+// This is the recovery hot path: checkpoint bodies stream through a
+// fixed window regardless of column size, keeping restart memory
+// O(chunk) while columns fill in place.
+func ReadWordsRegion(r io.Reader, n int, fill func(start int, words []uint64)) error {
+	var buf [8 * serializeChunk]byte
+	var words [serializeChunk]uint64
+	for i := 0; i < n; {
+		k := serializeChunk
+		if n-i < k {
+			k = n - i
+		}
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			words[j] = binary.LittleEndian.Uint64(buf[8*j:])
+		}
+		fill(i, words[:k])
+		i += k
+	}
+	return nil
+}

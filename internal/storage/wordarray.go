@@ -91,6 +91,14 @@ func (w WordArray) Fill(vals []int64) {
 	w.proc.WriteWords(w.addr, buf)
 }
 
+// FillWindow bulk-stores a window of raw words starting at row start:
+// the in-place consumer side of ReadWordsRegion, one page-wise bulk
+// write instead of a per-word Store (and its per-word address-space
+// lock round trip).
+func (w WordArray) FillWindow(start int, words []uint64) {
+	w.proc.WriteWords(w.addr+uint64(start)*phys.WordSize, words)
+}
+
 // Free unmaps the array.
 func (w WordArray) Free() {
 	_ = w.proc.Munmap(w.addr, w.size)

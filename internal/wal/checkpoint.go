@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -174,40 +175,73 @@ func (l *Log) WriteCheckpoint(ts uint64, ntables int, stream func(w *CheckpointW
 	return l.TruncateBelow(ts)
 }
 
-// CheckpointReader consumes a validated checkpoint body. It implements
-// io.Reader for the raw column-word streams, with helpers mirroring
-// the writer's metadata fields.
+// CheckpointReader streams a validated checkpoint body in O(buffer)
+// memory: reads pull through a bufio window, feed the incremental CRC,
+// and are bounded by the body length, so the trailer is never consumed
+// as data. It implements io.Reader for the raw column-word streams,
+// with helpers mirroring the writer's metadata fields. Integrity is
+// verified after the body has been consumed (LoadCheckpoint compares
+// the incremental CRC against the sealed one) — recovery applies data
+// before the verdict, which is safe because a mismatch fails the whole
+// Open and the partially filled state is discarded.
 type CheckpointReader struct {
-	buf []byte
-	off int
+	br        *bufio.Reader
+	crc       hash.Hash32
+	remaining int64 // body bytes not yet consumed (trailer excluded)
 }
 
 // Read implements io.Reader.
 func (r *CheckpointReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.buf) {
+	if r.remaining <= 0 {
 		return 0, fmt.Errorf("wal: checkpoint exhausted")
 	}
-	n := copy(p, r.buf[r.off:])
-	r.off += n
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.br.Read(p)
+	r.crc.Write(p[:n])
+	r.remaining -= int64(n)
+	if err != nil && n > 0 {
+		err = nil // deliver the bytes; the next call reports the error
+	}
+	if err != nil {
+		return n, fmt.Errorf("wal: checkpoint truncated: %w", err)
+	}
 	return n, nil
 }
 
-func (r *CheckpointReader) u32() (uint32, error) {
-	if len(r.buf)-r.off < 4 {
-		return 0, fmt.Errorf("wal: checkpoint truncated")
+// take consumes exactly n body bytes into a small scratch slice valid
+// until the next read.
+func (r *CheckpointReader) take(n int) ([]byte, error) {
+	if int64(n) > r.remaining {
+		return nil, fmt.Errorf("wal: checkpoint truncated")
 	}
-	v := binary.LittleEndian.Uint32(r.buf[r.off:])
-	r.off += 4
-	return v, nil
+	b, err := r.br.Peek(n)
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint truncated: %w", err)
+	}
+	r.crc.Write(b)
+	if _, err := r.br.Discard(n); err != nil {
+		return nil, err
+	}
+	r.remaining -= int64(n)
+	return b, nil
+}
+
+func (r *CheckpointReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
 }
 
 func (r *CheckpointReader) u64() (uint64, error) {
-	if len(r.buf)-r.off < 8 {
-		return 0, fmt.Errorf("wal: checkpoint truncated")
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
 	}
-	v := binary.LittleEndian.Uint64(r.buf[r.off:])
-	r.off += 8
-	return v, nil
+	return binary.LittleEndian.Uint64(b), nil
 }
 
 func (r *CheckpointReader) str() (string, error) {
@@ -215,12 +249,14 @@ func (r *CheckpointReader) str() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if uint64(len(r.buf)-r.off) < uint64(n) {
+	if int64(n) > r.remaining {
 		return "", fmt.Errorf("wal: checkpoint truncated")
 	}
-	s := string(r.buf[r.off : r.off+int(n)])
-	r.off += int(n)
-	return s, nil
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // TableHeader reads the next table section header written by
@@ -250,8 +286,8 @@ func (r *CheckpointReader) TableDict() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(d32) > uint64(len(r.buf)-r.off) {
-		return nil, fmt.Errorf("wal: checkpoint dictionary claims %d strings in %d bytes", d32, len(r.buf)-r.off)
+	if int64(d32) > r.remaining {
+		return nil, fmt.Errorf("wal: checkpoint dictionary claims %d strings in %d bytes", d32, r.remaining)
 	}
 	var dict []string
 	for i := 0; i < int(d32); i++ {
@@ -264,35 +300,55 @@ func (r *CheckpointReader) TableDict() ([]string, error) {
 	return dict, nil
 }
 
-// LoadCheckpoint locates the newest checkpoint, validates its framing
-// and whole-file CRC, and hands its body to load. ok is false when the
-// directory holds no checkpoint (a valid state: recovery then replays
-// the WAL from scratch). A present-but-corrupt checkpoint is an error,
-// not a fallback — the WAL below its timestamp is already truncated,
-// so silently ignoring it would lose data.
+// LoadCheckpoint locates the newest checkpoint, validates its framing,
+// and streams its body to load in O(buffer) memory: the trailer magic
+// and sealed CRC are read from the file's tail first, then the body is
+// pulled chunk-wise through the reader while an incremental CRC runs
+// over it, and the sums are compared once the body is drained. ok is
+// false when the directory holds no checkpoint (a valid state: recovery
+// then replays the WAL from scratch). A present-but-corrupt checkpoint
+// is an error, not a fallback — the WAL below its timestamp is already
+// truncated, so silently ignoring it would lose data.
 func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointReader) error) (ts uint64, ok bool, err error) {
 	ckpts, err := l.checkpoints()
 	if err != nil || len(ckpts) == 0 {
 		return 0, false, err
 	}
 	newest := ckpts[len(ckpts)-1]
-	buf, err := os.ReadFile(newest.path)
+	f, err := os.Open(newest.path)
 	if err != nil {
 		return 0, false, err
 	}
-	minLen := len(ckptMagic) + 8 + 4 + ckptTrailerLen
-	if len(buf) < minLen || string(buf[:len(ckptMagic)]) != string(ckptMagic) {
+	defer func() { _ = f.Close() }()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	minLen := int64(len(ckptMagic) + 8 + 4 + ckptTrailerLen)
+	if fi.Size() < minLen {
 		return 0, false, fmt.Errorf("wal: checkpoint %s: bad header", newest.path)
 	}
-	if string(buf[len(buf)-len(ckptTrailer):]) != string(ckptTrailer) {
+	// Seal first: a file without the trailer magic was never completely
+	// written and must not be streamed into the tables at all.
+	var tail [ckptTrailerLen]byte
+	if _, err := f.ReadAt(tail[:], fi.Size()-ckptTrailerLen); err != nil {
+		return 0, false, err
+	}
+	if string(tail[4:]) != string(ckptTrailer) {
 		return 0, false, fmt.Errorf("wal: checkpoint %s: missing trailer", newest.path)
 	}
-	body := buf[: len(buf)-ckptTrailerLen : len(buf)-ckptTrailerLen]
-	crc := binary.LittleEndian.Uint32(buf[len(buf)-ckptTrailerLen:])
-	if crc32.ChecksumIEEE(body) != crc {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: checksum mismatch", newest.path)
+	wantCRC := binary.LittleEndian.Uint32(tail[:4])
+
+	r := &CheckpointReader{
+		br:        bufio.NewReaderSize(f, replayBufSize),
+		crc:       crc32.NewIEEE(),
+		remaining: fi.Size() - ckptTrailerLen,
 	}
-	r := &CheckpointReader{buf: body, off: len(ckptMagic)}
+	l.notePeak(replayBufSize)
+	magic, err := r.take(len(ckptMagic))
+	if err != nil || string(magic) != string(ckptMagic) {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: bad header", newest.path)
+	}
 	ts, err = r.u64()
 	if err != nil {
 		return 0, false, err
@@ -303,6 +359,14 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 	}
 	if err := load(ts, int(n32), r); err != nil {
 		return 0, false, fmt.Errorf("wal: checkpoint %s: %w", newest.path, err)
+	}
+	// Drain whatever the loader did not consume so the CRC covers the
+	// whole body, then compare against the sealed sum.
+	if _, err := io.Copy(io.Discard, r); err != nil && r.remaining > 0 {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: %w", newest.path, err)
+	}
+	if r.crc.Sum32() != wantCRC {
+		return 0, false, fmt.Errorf("wal: checkpoint %s: checksum mismatch", newest.path)
 	}
 	return ts, true, nil
 }

@@ -30,6 +30,33 @@ type CommitRecord struct {
 	Writes []RedoWrite
 }
 
+// WAL-segment record kinds: the first payload byte of every framed
+// record in a shard segment. The schema log holds only table records
+// and carries no kind byte.
+const (
+	recKindCommit uint8 = 1
+	recKindLoad   uint8 = 2
+)
+
+// LoadRecord is one chunk of a durable bulk load (DB.Load/LoadStrings):
+// a contiguous window of values for one column, written outside any
+// transaction. Loads carry no timestamp — they are the state at time
+// zero — so replay applies a loaded value only to rows whose write
+// timestamp is still zero: any committed write (always stamped > 0)
+// wins over a load regardless of replay order, and re-replaying a load
+// over checkpoint-recovered rows is a no-op or rewrites the same
+// values. VARCHAR chunks carry the decoded strings (HasStrs), re-encoded
+// through the recovered dictionary at replay, exactly like commit
+// records.
+type LoadRecord struct {
+	Table   int
+	Col     int
+	Start   int // first row of the chunk
+	Vals    []int64
+	Strs    []string
+	HasStrs bool
+}
+
 // ColumnDef mirrors the storage schema column declaration in a form
 // the wal package can persist without importing the storage package.
 type ColumnDef struct {
@@ -61,26 +88,6 @@ func appendFrame(dst, payload []byte) []byte {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	return append(append(dst, hdr[:]...), payload...)
-}
-
-// nextFrame decodes the first frame of buf. ok is false at a clean end
-// of input and at a torn or corrupt tail alike — the caller cannot
-// distinguish them, and must not need to: both mean "no further
-// durable records".
-func nextFrame(buf []byte) (payload, rest []byte, ok bool) {
-	if len(buf) < 8 {
-		return nil, nil, false
-	}
-	n := binary.LittleEndian.Uint32(buf[0:])
-	crc := binary.LittleEndian.Uint32(buf[4:])
-	if uint64(n) > maxFrameLen || uint64(len(buf)-8) < uint64(n) {
-		return nil, nil, false
-	}
-	payload = buf[8 : 8+n]
-	if crc32.ChecksumIEEE(payload) != crc {
-		return nil, nil, false
-	}
-	return payload, buf[8+n:], true
 }
 
 // encoder builds little-endian record payloads.
@@ -156,6 +163,7 @@ func (d *decoder) str() string {
 // caller's).
 func (r CommitRecord) encode(dst []byte) []byte {
 	e := encoder{b: dst}
+	e.u8(recKindCommit)
 	e.u64(r.TS)
 	e.u32(uint32(len(r.Writes)))
 	for _, w := range r.Writes {
@@ -175,6 +183,9 @@ func (r CommitRecord) encode(dst []byte) []byte {
 
 func decodeCommit(payload []byte) (CommitRecord, error) {
 	d := decoder{b: payload}
+	if kind := d.u8(); d.err == nil && kind != recKindCommit {
+		return CommitRecord{}, fmt.Errorf("wal: record kind %d, want commit (%d)", kind, recKindCommit)
+	}
 	rec := CommitRecord{TS: d.u64()}
 	n := d.u32()
 	if d.err == nil && uint64(n) > uint64(len(payload)) {
@@ -193,6 +204,58 @@ func decodeCommit(payload []byte) (CommitRecord, error) {
 			w.Str, w.HasStr = d.str(), true
 		}
 		rec.Writes = append(rec.Writes, w)
+	}
+	return rec, d.err
+}
+
+// encode serialises the load record payload.
+func (r LoadRecord) encode(dst []byte) []byte {
+	e := encoder{b: dst}
+	e.u8(recKindLoad)
+	e.u32(uint32(r.Table))
+	e.u32(uint32(r.Col))
+	e.u32(uint32(r.Start))
+	if r.HasStrs {
+		e.u8(1)
+		e.u32(uint32(len(r.Strs)))
+		for _, s := range r.Strs {
+			e.str(s)
+		}
+	} else {
+		e.u8(0)
+		e.u32(uint32(len(r.Vals)))
+		for _, v := range r.Vals {
+			e.u64(uint64(v))
+		}
+	}
+	return e.b
+}
+
+func decodeLoad(payload []byte) (LoadRecord, error) {
+	d := decoder{b: payload}
+	if kind := d.u8(); d.err == nil && kind != recKindLoad {
+		return LoadRecord{}, fmt.Errorf("wal: record kind %d, want load (%d)", kind, recKindLoad)
+	}
+	rec := LoadRecord{
+		Table: int(d.u32()),
+		Col:   int(d.u32()),
+		Start: int(d.u32()),
+	}
+	rec.HasStrs = d.u8() != 0
+	n := d.u32()
+	if d.err == nil && uint64(n) > uint64(len(payload)) {
+		// A value takes at least one payload byte; more values than
+		// bytes is corruption, not a huge chunk.
+		return rec, fmt.Errorf("wal: load record claims %d values in %d bytes", n, len(payload))
+	}
+	if rec.HasStrs {
+		for i := 0; i < int(n); i++ {
+			rec.Strs = append(rec.Strs, d.str())
+		}
+	} else {
+		for i := 0; i < int(n); i++ {
+			rec.Vals = append(rec.Vals, int64(d.u64()))
+		}
 	}
 	return rec, d.err
 }

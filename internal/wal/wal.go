@@ -17,15 +17,24 @@
 // — a single fsync for the group, so durability costs amortize across
 // a batch exactly like the shard lock acquisition does.
 //
-// Every record is framed with its length and a CRC32 of its payload,
-// so replay is torn-tail tolerant: a crash mid-append corrupts at most
-// the trailing frame of one shard segment, and replay stops cleanly at
-// the last intact record.
+// Shard segments hold two record kinds, tagged by their first payload
+// byte: commit redo records and bulk-load chunk records (timestamp-less
+// time-zero state, see LoadRecord). Every record is framed with its
+// length and a CRC32 of its payload, so replay is torn-tail tolerant:
+// a crash mid-append corrupts at most the trailing frame of one shard
+// segment, and replay stops cleanly at the last intact record. All
+// replay — segments and checkpoint bodies alike — streams through
+// fixed-size buffers (an incremental CRC runs over checkpoint bodies),
+// so restart memory is O(chunk) regardless of database size.
 package wal
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -99,8 +108,16 @@ type Log struct {
 	failed atomic.Bool // poisoned by the first append error
 	closed atomic.Bool // set by Close before it syncs the files
 
-	bytes  atomic.Uint64 // record bytes appended (WAL + schema log)
-	fsyncs atomic.Uint64 // fsyncs issued (segments, schema log, checkpoints)
+	bytes   atomic.Uint64 // record bytes appended (WAL + schema log)
+	records atomic.Uint64 // commit + load records appended to shard segments
+	fsyncs  atomic.Uint64 // fsyncs issued (segments, schema log, checkpoints)
+
+	// recoveryPeak is the high-water mark of transient buffer bytes the
+	// streaming recovery readers held (bufio windows + the largest
+	// record frame): the evidence that restart memory is O(chunk), not
+	// O(DB). Retained recovered state (tables, dictionaries) is not
+	// counted — it exists with or without recovery.
+	recoveryPeak atomic.Uint64
 
 	schemaMu sync.Mutex
 	schema   *os.File
@@ -168,11 +185,33 @@ func (l *Log) Dir() string { return l.dir }
 // Policy returns the configured sync policy.
 func (l *Log) Policy() SyncPolicy { return l.policy }
 
-// Bytes returns the cumulative record bytes appended.
+// Bytes returns the cumulative record bytes appended, plus the bytes
+// replayed by recovery — the tail a checkpoint has not yet covered
+// counts as growth regardless of which process wrote it.
 func (l *Log) Bytes() uint64 { return l.bytes.Load() }
+
+// Records returns the cumulative count of commit and load records
+// appended to shard segments, plus the records replayed by recovery —
+// together with Bytes, the input to automatic checkpoint scheduling.
+func (l *Log) Records() uint64 { return l.records.Load() }
 
 // Fsyncs returns the cumulative fsync count.
 func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// RecoveryPeakBytes returns the high-water mark of transient buffer
+// bytes held while streaming this log's checkpoint and segments during
+// recovery (zero if no replay ran).
+func (l *Log) RecoveryPeakBytes() uint64 { return l.recoveryPeak.Load() }
+
+// notePeak raises the recovery peak to at least n.
+func (l *Log) notePeak(n uint64) {
+	for {
+		cur := l.recoveryPeak.Load()
+		if n <= cur || l.recoveryPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // Shards returns the shard count the log was opened with.
 func (l *Log) Shards() int { return len(l.shards) }
@@ -205,6 +244,7 @@ func (l *Log) AppendCommits(shard int, recs []CommitRecord) error {
 				return l.poison(err)
 			}
 			s.lastTS, s.records = r.TS, s.records+1
+			l.records.Add(1)
 		}
 		return nil
 	}
@@ -221,6 +261,46 @@ func (l *Log) AppendCommits(shard int, recs []CommitRecord) error {
 		}
 	}
 	s.lastTS, s.records = recs[len(recs)-1].TS, s.records+len(recs)
+	l.records.Add(uint64(len(recs)))
+	return nil
+}
+
+// AppendLoads appends a bulk load's chunk records to shard's segment:
+// one write per chunk (the chunks together may exceed any sane single
+// buffer) and one fsync for the whole load under any policy but
+// SyncNone — a bulk load is one logical operation, so it gets one
+// durability point, like a group-commit batch. Load records carry no
+// timestamp and therefore never extend the segment's truncation
+// watermark: once a checkpoint captures the loaded data, a segment
+// holding only loads is reclaimed. The caller must serialise loads
+// against checkpoints (the engine holds its checkpoint mutex), so a
+// checkpoint can never capture half a load and then truncate the rest.
+func (l *Log) AppendLoads(shard int, recs []LoadRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := l.usable(); err != nil {
+		return err
+	}
+	s := l.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := l.ensureSegment(s); err != nil {
+		return l.poison(err)
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = appendFrame(buf[:0], r.encode(nil))
+		if err := l.write(s, buf); err != nil {
+			return l.poison(err)
+		}
+	}
+	if l.policy != SyncNone {
+		if err := l.sync(s.f); err != nil {
+			return l.poison(err)
+		}
+	}
+	l.records.Add(uint64(len(recs)))
 	return nil
 }
 
@@ -267,64 +347,153 @@ func (l *Log) AppendTable(rec TableRecord) error {
 	return nil
 }
 
-// ReplayTables streams every schema-log record to fn in append order
-// (original table-index order), stopping at a torn tail.
-func (l *Log) ReplayTables(fn func(TableRecord) error) error {
-	buf, err := os.ReadFile(filepath.Join(l.dir, "schema.log"))
+// replayBufSize is the bufio window streaming replay reads through:
+// together with the largest single record frame it bounds recovery's
+// transient memory, independent of segment or checkpoint size.
+const replayBufSize = 1 << 16
+
+// segMagic is the versioned header every shard segment starts with.
+// Replay refuses a segment whose header does not match — a clear
+// "unsupported format" failure instead of misparsing records when the
+// record encoding changes (the kind-byte revision bumped this to 2).
+// A missing or short header is a segment created but torn before its
+// first write and simply holds no records.
+var segMagic = []byte("ANKWSEG2")
+
+// frameScanner streams length+CRC framed records out of a reader,
+// reusing one payload buffer. It stops (ok=false) at a clean EOF and
+// at a torn or corrupt tail alike, mirroring nextFrame's contract.
+type frameScanner struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// next returns the next intact frame payload. The returned slice is
+// only valid until the following call.
+func (fs *frameScanner) next() (payload []byte, ok bool) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(fs.br, hdr[:]); err != nil {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if uint64(n) > maxFrameLen {
+		return nil, false
+	}
+	if uint64(n) > uint64(cap(fs.buf)) {
+		fs.buf = make([]byte, n)
+	}
+	payload = fs.buf[:n]
+	if _, err := io.ReadFull(fs.br, payload); err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	return payload, true
+}
+
+// replayFile streams path's intact frames to fn, stopping cleanly at
+// the first torn or corrupt frame, and returns with the file closed.
+// With withHeader (shard segments), the segMagic header is validated
+// first: a complete-but-wrong header is an unsupported-format error, a
+// short one means the segment was torn before its first record. Memory
+// held is the bufio window plus the largest frame — recorded in the
+// recovery peak.
+func (l *Log) replayFile(path string, withHeader bool, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
 		return err
 	}
+	defer func() { _ = f.Close() }()
+	br := bufio.NewReaderSize(f, replayBufSize)
+	if withHeader {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil // empty or torn header: no durable records
+		}
+		if string(hdr[:]) != string(segMagic) {
+			return fmt.Errorf("wal: segment %s: unsupported format (header %q, want %q)", path, hdr[:], segMagic)
+		}
+	}
+	fs := &frameScanner{br: br}
 	for {
-		payload, rest, ok := nextFrame(buf)
+		payload, ok := fs.next()
 		if !ok {
+			l.notePeak(replayBufSize + uint64(cap(fs.buf)))
 			return nil
 		}
-		buf = rest
-		rec, err := decodeTable(payload)
-		if err != nil {
-			return err // CRC passed but payload malformed: real corruption
-		}
-		if err := fn(rec); err != nil {
+		if err := fn(payload); err != nil {
 			return err
 		}
 	}
 }
 
-// ReplayCommits streams every durable commit record to fn, shard by
-// shard in segment order. Order across shards is arbitrary — callers
-// must apply records idempotently by commit timestamp (newer-wins per
-// row). Each segment is read up to its first bad frame (torn tail) and
-// registered for later checkpoint truncation by its newest timestamp.
-func (l *Log) ReplayCommits(fn func(CommitRecord) error) error {
+// ReplayTables streams every schema-log record to fn in append order
+// (original table-index order), stopping at a torn tail.
+func (l *Log) ReplayTables(fn func(TableRecord) error) error {
+	path := filepath.Join(l.dir, "schema.log")
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil
+	}
+	return l.replayFile(path, false, func(payload []byte) error {
+		rec, err := decodeTable(payload)
+		if err != nil {
+			return err // CRC passed but payload malformed: real corruption
+		}
+		return fn(rec)
+	})
+}
+
+// ReplayCommits streams every durable shard-segment record, shard by
+// shard in segment order: bulk-load chunks to onLoad, commit records to
+// onCommit. Order across shards is arbitrary — callers must apply
+// commit records idempotently by commit timestamp (newer-wins per row)
+// and load records only to rows no commit has stamped (write timestamp
+// zero), which makes replay insensitive to both cross-shard ordering
+// and repetition. Each segment is read in O(replayBufSize) memory up to
+// its first bad frame (torn tail) and registered for later checkpoint
+// truncation by its newest commit timestamp.
+func (l *Log) ReplayCommits(onLoad func(LoadRecord) error, onCommit func(CommitRecord) error) error {
 	segs, err := l.segments()
 	if err != nil {
 		return err
 	}
 	for _, sg := range segs {
-		buf, err := os.ReadFile(sg.path)
+		var maxTS uint64
+		err := l.replayFile(sg.path, true, func(payload []byte) error {
+			if len(payload) == 0 {
+				return fmt.Errorf("wal: segment %s: empty record", sg.path)
+			}
+			// Replayed records seed the growth counters: the tail that
+			// survived this recovery counts toward the auto-checkpoint
+			// thresholds exactly like fresh appends, so a large tail is
+			// checkpointed away soon after restart instead of being
+			// re-replayed on every subsequent Open.
+			l.bytes.Add(uint64(len(payload) + 8))
+			l.records.Add(1)
+			switch payload[0] {
+			case recKindLoad:
+				rec, err := decodeLoad(payload)
+				if err != nil {
+					return fmt.Errorf("wal: segment %s: %w", sg.path, err)
+				}
+				return onLoad(rec)
+			case recKindCommit:
+				rec, err := decodeCommit(payload)
+				if err != nil {
+					return fmt.Errorf("wal: segment %s: %w", sg.path, err)
+				}
+				if rec.TS > maxTS {
+					maxTS = rec.TS
+				}
+				return onCommit(rec)
+			default:
+				return fmt.Errorf("wal: segment %s: unknown record kind %d", sg.path, payload[0])
+			}
+		})
 		if err != nil {
 			return err
-		}
-		var maxTS uint64
-		for {
-			payload, rest, ok := nextFrame(buf)
-			if !ok {
-				break
-			}
-			buf = rest
-			rec, err := decodeCommit(payload)
-			if err != nil {
-				return fmt.Errorf("wal: segment %s: %w", sg.path, err)
-			}
-			if rec.TS > maxTS {
-				maxTS = rec.TS
-			}
-			if err := fn(rec); err != nil {
-				return err
-			}
 		}
 		l.sealedMu.Lock()
 		l.sealedMax[sg.path] = maxTS
@@ -403,11 +572,11 @@ func (l *Log) Close() error {
 	return firstErr
 }
 
-// ensureSegment opens the shard's next segment if none is active. The
-// caller holds s.mu. The closed re-check matters: an append that
-// passed the entry check can block on s.mu while Close drains the
-// shard — without it, the append would create a segment Close never
-// syncs.
+// ensureSegment opens the shard's next segment if none is active and
+// writes the versioned header. The caller holds s.mu. The closed
+// re-check matters: an append that passed the entry check can block on
+// s.mu while Close drains the shard — without it, the append would
+// create a segment Close never syncs.
 func (l *Log) ensureSegment(s *shardLog) error {
 	if l.closed.Load() {
 		return ErrLogClosed
@@ -419,6 +588,10 @@ func (l *Log) ensureSegment(s *shardLog) error {
 	s.path = filepath.Join(l.dir, "wal", segmentName(s.shard, s.seq))
 	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		_ = f.Close()
 		return err
 	}
 	s.f = f

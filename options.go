@@ -44,6 +44,14 @@ type config struct {
 	commitShards int // 0 = auto (GOMAXPROCS)
 	durDir       string
 	syncPolicy   SyncPolicy
+
+	// Automatic checkpoint scheduling (0 = that trigger disabled).
+	autoCkptBytes    uint64
+	autoCkptRecords  uint64
+	autoCkptInterval time.Duration
+
+	// Group-commit leader max wait for followers (0 = drain once).
+	groupMaxWait time.Duration
 }
 
 // resolveCommitShards turns the configured shard count into the number
@@ -180,4 +188,58 @@ func WithDurability(dir string) Option {
 // WithSyncPolicy sets the WAL fsync policy (default SyncGroupOnly).
 func WithSyncPolicy(p SyncPolicy) Option {
 	return func(c *config) { c.syncPolicy = p }
+}
+
+// WithAutoCheckpoint enables automatic checkpoint scheduling: a
+// background scheduler runs Checkpoint() once the write-ahead log has
+// grown by at least bytes record bytes, or by at least records commit
+// and bulk-load records, since the last completed checkpoint (whichever
+// threshold is crossed first; either may be 0 to disable that trigger).
+// Automatic, manual, and Close-time checkpoints coordinate through the
+// same mutex, so only one checkpoint runs at a time; writers are never
+// stalled either way, because every checkpoint streams a pinned
+// snapshot generation. Only meaningful together with WithDurability.
+// The default (option omitted, or both thresholds 0) keeps checkpoints
+// purely manual.
+func WithAutoCheckpoint(bytes, records uint64) Option {
+	return func(c *config) {
+		c.autoCkptBytes = bytes
+		c.autoCkptRecords = records
+	}
+}
+
+// WithAutoCheckpointInterval additionally bounds the time between
+// checkpoints: if d elapses with new WAL records appended since the
+// last checkpoint, the scheduler checkpoints even though no size
+// threshold fired — so a slow trickle of commits cannot keep recovery
+// replay unbounded. Zero (the default) disables the timer. Only
+// meaningful together with WithDurability.
+func WithAutoCheckpointInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			d = 0
+		}
+		c.autoCkptInterval = d
+	}
+}
+
+// WithGroupCommitMaxWait makes committers linger up to d before
+// contending for their shard's commit lock, so commits arriving within
+// the window accumulate in the queue and whoever wakes first
+// validates, stamps, and — with durability enabled — fsyncs them as
+// one batch. The wait never holds the shard lock (snapshot capture and
+// checkpoints are not stalled behind it), and a commit a concurrent
+// leader already processed returns without waiting out the full
+// window. The knob trades per-commit latency (up to d) for throughput
+// (fewer, larger fsyncs); it pays off when fsyncs dominate the commit
+// path (WithDurability under SyncGroupOnly) and only adds latency with
+// durability off. Zero (the default) contends immediately, the
+// lowest-latency behaviour.
+func WithGroupCommitMaxWait(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			d = 0
+		}
+		c.groupMaxWait = d
+	}
 }

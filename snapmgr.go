@@ -122,6 +122,22 @@ func (m *snapManager) acquire() *generation {
 	return cur
 }
 
+// acquireFresh pins a generation guaranteed to have been created after
+// this call began: the current generation is retired first (its cached
+// column snapshots with it). Checkpoints must use this instead of
+// acquire — a column snapshot cached by an earlier OLAP pin can
+// predate a bulk load, and a checkpoint written from it would persist
+// pre-load data while truncating the load's WAL records (loads, unlike
+// commits, leave no timestamped records above the checkpoint timestamp
+// to survive truncation). The stale flag is consumed inside acquire's
+// critical section only when a new generation is created, so every
+// generation this returns was born after the Store below — after
+// whatever state change the caller needs captured.
+func (m *snapManager) acquireFresh() *generation {
+	m.stale.Store(true)
+	return m.acquire()
+}
+
 func (m *snapManager) shouldRotate(g *generation) bool {
 	if !g.tsOK {
 		return false // never read from: still perfectly fresh

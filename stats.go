@@ -25,14 +25,33 @@ type Stats struct {
 	// NOT a validation-failure count — see Conflicts for those.
 	CommitShardConflicts uint64
 	GroupCommitSize      GroupCommitHist // batch-size distribution
+	// GroupCommitMaxWait is the configured pre-lock linger that lets
+	// contemporaneous commits batch together (WithGroupCommitMaxWait;
+	// zero = contend for the shard lock immediately).
+	GroupCommitMaxWait time.Duration
 
 	// Durability subsystem (zero without WithDurability).
-	Durable              bool
-	SyncPolicy           string // "always", "groupOnly" or "none"
-	WALBytes             uint64 // record bytes appended to WAL + schema log
+	Durable    bool
+	SyncPolicy string // "always", "groupOnly" or "none"
+	// WALBytes/WALRecords count record bytes and commit + bulk-load
+	// records in the log: appended by this process plus the tail
+	// replayed by Open (a recovered tail counts toward auto-checkpoint
+	// growth like fresh appends, so it is checkpointed away instead of
+	// re-replayed forever).
+	WALBytes             uint64
+	WALRecords           uint64
 	FsyncCount           uint64 // fsyncs issued (segments, schema log, checkpoints)
 	CheckpointCount      uint64 // checkpoints completed by this process
+	AutoCheckpointCount  uint64 // of those, triggered by the scheduler
 	RecoveryReplayedTxns uint64 // WAL commit records re-applied by Open
+	// RecoveryReplayedLoads is the number of bulk-load chunk records
+	// re-applied by Open.
+	RecoveryReplayedLoads uint64
+	// RecoveryPeakBytes is the high-water mark of transient buffer
+	// bytes the streaming recovery readers held during Open (bufio
+	// windows + the largest record frame): O(chunk) however large the
+	// checkpoint and segments are, and zero when Open replayed nothing.
+	RecoveryPeakBytes uint64
 
 	// Snapshot lifecycle.
 	SnapshotsCreated    uint64        // column snapshots created
@@ -94,9 +113,12 @@ func (db *DB) Stats() Stats {
 		CommitShards:         len(db.shards),
 		CommitBatches:        db.st.commitBatches.Load(),
 		CommitShardConflicts: db.st.crossShard.Load(),
+		GroupCommitMaxWait:   db.groupMaxWait,
 
-		CheckpointCount:      db.st.checkpoints.Load(),
-		RecoveryReplayedTxns: db.recoveredTxns,
+		CheckpointCount:       db.st.checkpoints.Load(),
+		AutoCheckpointCount:   db.st.autoCheckpoints.Load(),
+		RecoveryReplayedTxns:  db.recoveredTxns,
+		RecoveryReplayedLoads: db.recoveredLoads,
 
 		SnapshotsCreated:   created,
 		SnapshotsReleased:  released,
@@ -116,7 +138,9 @@ func (db *DB) Stats() Stats {
 		s.Durable = true
 		s.SyncPolicy = db.wal.Policy().String()
 		s.WALBytes = db.wal.Bytes()
+		s.WALRecords = db.wal.Records()
 		s.FsyncCount = db.wal.Fsyncs()
+		s.RecoveryPeakBytes = db.wal.RecoveryPeakBytes()
 	}
 	for i := range db.st.groupSizes {
 		s.GroupCommitSize.Buckets[i] = db.st.groupSizes[i].Load()
