@@ -6,10 +6,11 @@ GO ?= go
 
 # The exact workload the bench-regression gate compares: keep the
 # baseline and the gate on identical arguments or the configurations
-# will not match up.
-BENCH_GATE_ARGS := -quick -bench commit -format json
+# will not match up. The grow sweep emits its insert throughput as
+# commits_per_sec, so one gate metric covers both benches.
+BENCH_GATE_ARGS := -quick -bench commit,grow -format json
 
-.PHONY: build test test-race bench bench-baseline bench-gate
+.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline
 
 build:
 	$(GO) build ./...
@@ -36,3 +37,16 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/ankerbench $(BENCH_GATE_ARGS) > bench-current.json
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.json -current bench-current.json
+
+# cover runs the test suite with coverage and writes cover.out plus the
+# HTML report CI uploads as an artifact.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -html=cover.out -o coverage.html
+
+# cover-baseline refreshes the committed coverage gate baseline: total
+# statement coverage in percent. CI fails when a push drops more than
+# 2 points below this number.
+cover-baseline: cover
+	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}' > coverage-baseline.txt
+	cat coverage-baseline.txt

@@ -51,7 +51,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit,durability,recovery", "comma-separated benchmarks to run: create, write, mixed, commit, durability, recovery")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -164,6 +164,9 @@ func main() {
 	}
 	if benches["commit"] {
 		benchCommit()
+	}
+	if benches["grow"] {
+		benchGrow(strats)
 	}
 	if benches["durability"] {
 		benchDurability()
@@ -611,6 +614,128 @@ func powersOfTwoUpTo(n int) []int {
 	}
 	out = append(out, n)
 	return out
+}
+
+// benchGrow measures growable-table insert throughput: concurrent
+// writers commit single-row Inserts (each birthing a row through the
+// table's owning commit shard and writing every column), swept across
+// snapshot strategies and commit shard counts. After the timed phase,
+// half the inserted rows are deleted and reclaimed by Vacuum, and the
+// reuse rate of the following inserts is reported — the free-list
+// path. insert throughput is also emitted as commits_per_sec so the
+// CI bench-regression gate covers the grow path with its default
+// metric.
+func benchGrow(strats []ankerdb.SnapshotStrategy) {
+	shardCounts := parseShards()
+	textf("== grow: insert throughput (%d writers, %v/point) × strategies × shards ==\n", *flagWriters, *flagDur)
+	textf("%-10s  %8s  %10s  %8s  %12s  %10s  %10s\n",
+		"strategy", "shards", "inserts/s", "aborts", "rows grown", "reclaimed", "reused")
+	for _, strat := range strats {
+		for _, shards := range shardCounts {
+			db := openLoaded(strat, *flagCols,
+				ankerdb.WithCommitShards(shards),
+				ankerdb.WithSnapshotRefresh(0))
+			inserts, aborts := runInserters(db, *flagWriters, *flagDur)
+			st := db.Stats()
+
+			// Free-list cycle: delete half the inserted rows, reclaim,
+			// and reinsert that many — counting how many slots came back
+			// from the free list instead of growing the table.
+			deleted := reapEvenInsertedRows(db, int(inserts))
+			db.Vacuum()
+			reclaimed := db.Stats().RowsReclaimed
+			freeBefore := db.Stats().RowsFree
+			for i := 0; i < deleted; i++ {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					fail("%v", err)
+				}
+				if _, err := w.Insert("bench", map[string]any{"c0": int64(i)}); err != nil {
+					fail("%v", err)
+				}
+				if err := w.Commit(); err != nil {
+					fail("%v", err)
+				}
+			}
+			reused := freeBefore - db.Stats().RowsFree
+			if err := db.Close(); err != nil {
+				fail("close: %v", err)
+			}
+
+			perSec := float64(inserts) / flagDur.Seconds()
+			textf("%-10s  %8d  %10.0f  %8d  %12d  %10d  %10d\n",
+				strat, st.CommitShards, perSec, aborts, st.RowInserts, reclaimed, reused)
+			base := record{Bench: "grow", Strategy: string(strat),
+				Shards: st.CommitShards, Writers: *flagWriters, Scanners: 0, Touch: -1}
+			emitAll(base, []metric{
+				{"inserts_per_sec", perSec},
+				{"commits_per_sec", perSec},
+				{"aborts", float64(aborts)},
+				{"rows_inserted", float64(st.RowInserts)},
+				{"rows_reclaimed", float64(reclaimed)},
+				{"rows_reused", float64(reused)},
+				{"capacity_rows", float64(st.TableCapacity)},
+			})
+		}
+	}
+	textf("\n")
+}
+
+// runInserters drives writers committing one-row inserts for dur.
+func runInserters(db *ankerdb.DB, writers int, dur time.Duration) (inserts, aborts uint64) {
+	var stop atomic.Bool
+	var cInserts, cAborts atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(writer int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(writer) + 1))
+			for !stop.Load() {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					return
+				}
+				if _, err := w.Insert("bench", map[string]any{"c0": rnd.Int63n(1000)}); err != nil {
+					// Abort so the dead txn does not pin the GC floor and
+					// zero out the reclaim metrics of the reuse phase.
+					_ = w.Abort()
+					return
+				}
+				if w.Commit() == nil {
+					cInserts.Add(1)
+				} else {
+					cAborts.Add(1)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return cInserts.Load(), cAborts.Load()
+}
+
+// reapEvenInsertedRows deletes every second row above the bulk-loaded
+// prefix (the rows the timed insert phase created), returning how many
+// it deleted. Deletions run one per transaction, best effort.
+func reapEvenInsertedRows(db *ankerdb.DB, inserted int) int {
+	deleted := 0
+	for i := 0; i < inserted; i += 2 {
+		row := *flagRows + i
+		w, err := db.Begin(ankerdb.OLTP)
+		if err != nil {
+			return deleted
+		}
+		if err := w.Delete("bench", row); err != nil {
+			_ = w.Abort()
+			continue
+		}
+		if w.Commit() == nil {
+			deleted++
+		}
+	}
+	return deleted
 }
 
 // benchDurability sweeps the WAL sync policies across commit shard

@@ -1,0 +1,220 @@
+// Command benchplot renders the CI perf-trajectory CSV
+// (bench-trajectory.csv: one row per push to main, appended by the
+// bench workflow) into a standalone SVG line chart, so the engine's
+// commit-throughput trajectory is visible in the README without
+// downloading artifacts. It uses only the standard library — CI runs
+// it with no module downloads.
+//
+// Input schema (header required):
+//
+//	date,sha,mean_commits_per_sec,gomaxprocs
+//
+// Extra columns are ignored, so the CSV can grow without breaking the
+// chart. Rows that fail to parse are skipped. With fewer than one
+// valid row the chart still renders, stating that no data exists yet.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type point struct {
+	date string
+	sha  string
+	val  float64
+}
+
+func main() {
+	csvPath := flag.String("csv", "bench-trajectory.csv", "trajectory CSV to render")
+	outPath := flag.String("out", "bench-trajectory.svg", "SVG file to write")
+	metric := flag.String("metric", "mean_commits_per_sec", "CSV column to plot")
+	title := flag.String("title", "ankerdb commit throughput per push (CI runners)", "chart title")
+	flag.Parse()
+
+	pts, err := readPoints(*csvPath, *metric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplot: %v\n", err)
+		os.Exit(1)
+	}
+	svg := render(pts, *title, *metric)
+	if err := os.WriteFile(*outPath, []byte(svg), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchplot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchplot: %d points -> %s\n", len(pts), *outPath)
+}
+
+// readPoints loads the metric column of the trajectory CSV. A missing
+// file yields zero points (the chart renders a "no data" note), so the
+// first CI run after this tool ships still succeeds.
+func readPoints(path, metric string) ([]point, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // tolerate schema growth
+	header, err := r.Read()
+	if err != nil {
+		return nil, nil // empty file: no data yet
+	}
+	col := -1
+	for i, name := range header {
+		if name == metric {
+			col = i
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("%s: no %q column in header %v", path, metric, header)
+	}
+	var pts []point
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil || len(rec) <= col {
+			continue // skip malformed rows, keep the chart rendering
+		}
+		v, err := strconv.ParseFloat(rec[col], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		p := point{val: v}
+		if len(rec) > 0 {
+			p.date = rec[0]
+		}
+		if len(rec) > 1 {
+			p.sha = rec[1]
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Chart geometry.
+const (
+	width   = 880
+	height  = 320
+	marginL = 80
+	marginR = 24
+	marginT = 44
+	marginB = 46
+)
+
+// render builds the SVG document. The style is deliberately plain:
+// axes, a gridline per tick, one polyline, a dot per push, and the
+// newest value called out.
+func render(pts []point, title, metric string) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="ui-monospace,monospace" font-size="12">`, width, height))
+	b.WriteString(fmt.Sprintf(`<rect width="%d" height="%d" fill="#ffffff"/>`, width, height))
+	b.WriteString(fmt.Sprintf(`<text x="%d" y="24" font-size="15" fill="#111">%s</text>`, marginL, esc(title)))
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	if len(pts) == 0 {
+		b.WriteString(fmt.Sprintf(`<text x="%d" y="%d" fill="#666">no trajectory data yet — populated by pushes to main</text>`,
+			marginL, marginT+plotH/2))
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+
+	lo, hi := pts[0].val, pts[0].val
+	for _, p := range pts {
+		lo, hi = math.Min(lo, p.val), math.Max(hi, p.val)
+	}
+	if hi == lo {
+		hi = lo + 1 // flat series still needs a finite scale
+	}
+	pad := (hi - lo) * 0.08
+	lo, hi = math.Max(0, lo-pad), hi+pad
+
+	x := func(i int) float64 {
+		if len(pts) == 1 {
+			return marginL + float64(plotW)/2
+		}
+		return marginL + float64(i)*float64(plotW)/float64(len(pts)-1)
+	}
+	y := func(v float64) float64 {
+		return marginT + float64(plotH)*(1-(v-lo)/(hi-lo))
+	}
+
+	// Horizontal gridlines + y labels at 4 ticks.
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		yy := y(v)
+		b.WriteString(fmt.Sprintf(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e5e5"/>`,
+			marginL, yy, width-marginR, yy))
+		b.WriteString(fmt.Sprintf(`<text x="%d" y="%.1f" text-anchor="end" fill="#666">%s</text>`,
+			marginL-8, yy+4, human(v)))
+	}
+	// X labels: first and last push (date + short sha).
+	first, last := pts[0], pts[len(pts)-1]
+	b.WriteString(fmt.Sprintf(`<text x="%d" y="%d" fill="#666">%s %s</text>`,
+		marginL, height-14, esc(shortDate(first.date)), esc(shortSHA(first.sha))))
+	b.WriteString(fmt.Sprintf(`<text x="%d" y="%d" text-anchor="end" fill="#666">%s %s</text>`,
+		width-marginR, height-14, esc(shortDate(last.date)), esc(shortSHA(last.sha))))
+
+	// The series.
+	var poly strings.Builder
+	for i, p := range pts {
+		poly.WriteString(fmt.Sprintf("%.1f,%.1f ", x(i), y(p.val)))
+	}
+	b.WriteString(fmt.Sprintf(`<polyline points="%s" fill="none" stroke="#2563eb" stroke-width="2"/>`,
+		strings.TrimSpace(poly.String())))
+	for i, p := range pts {
+		b.WriteString(fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="2.5" fill="#2563eb"><title>%s %s: %s %s</title></circle>`,
+			x(i), y(p.val), esc(p.date), esc(shortSHA(p.sha)), human(p.val), esc(metric)))
+	}
+	// Newest value callout.
+	b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" text-anchor="end" fill="#2563eb" font-weight="bold">%s</text>`,
+		x(len(pts)-1), y(last.val)-8, human(last.val)))
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// human renders a value with k/M suffixes for axis labels.
+func human(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 8 {
+		return sha[:8]
+	}
+	return sha
+}
+
+func shortDate(d string) string {
+	if i := strings.IndexByte(d, 'T'); i > 0 {
+		return d[:i]
+	}
+	return d
+}
+
+// esc escapes the few XML-significant characters that can appear in
+// CSV fields.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

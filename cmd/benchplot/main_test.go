@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "traj.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderTrajectory(t *testing.T) {
+	path := writeCSV(t, strings.Join([]string{
+		"date,sha,mean_commits_per_sec,gomaxprocs",
+		"2026-07-01T00:00:00Z,aaaaaaaaaaaa,100000,2",
+		"2026-07-02T00:00:00Z,bbbbbbbbbbbb,150000,2",
+		"2026-07-03T00:00:00Z,cccccccccccc,130000,2",
+		"bad,row,not-a-number,2", // skipped, never fatal
+	}, "\n")+"\n")
+	pts, err := readPoints(path, "mean_commits_per_sec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (malformed row skipped)", len(pts))
+	}
+	svg := render(pts, "title", "mean_commits_per_sec")
+	for _, want := range []string{"<svg", "polyline", "aaaaaaaa", "cccccccc", "150k", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg)
+		}
+	}
+}
+
+func TestRenderNoData(t *testing.T) {
+	pts, err := readPoints(filepath.Join(t.TempDir(), "missing.csv"), "mean_commits_per_sec")
+	if err != nil || pts != nil {
+		t.Fatalf("missing file: %v, %v", pts, err)
+	}
+	svg := render(nil, "t", "m")
+	if !strings.Contains(svg, "no trajectory data") {
+		t.Fatalf("empty chart missing placeholder: %s", svg)
+	}
+}
+
+func TestRenderSinglePointAndFlatSeries(t *testing.T) {
+	svg := render([]point{{date: "2026-07-01", sha: "abc", val: 5}}, "t", "m")
+	if !strings.Contains(svg, "circle") {
+		t.Fatal("single point not plotted")
+	}
+	svg = render([]point{{val: 7}, {val: 7}}, "t", "m")
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("flat series not plotted")
+	}
+}
+
+func TestMissingMetricColumn(t *testing.T) {
+	path := writeCSV(t, "date,sha,other\n2026,aa,1\n")
+	if _, err := readPoints(path, "mean_commits_per_sec"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := esc(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("esc = %q", got)
+	}
+}

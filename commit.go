@@ -265,22 +265,35 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	ts := db.oracle.NextCommitTSBlock(1)
 	rec := db.install(t, ts)
 	for i, id := range ids {
-		var writes []mvcc.WriteEntry
+		var writes, visWrites []mvcc.WriteEntry
 		for _, e := range rec.Writes {
 			if db.shardOf(e.Col) == id {
 				writes = append(writes, e)
 			}
 		}
-		if len(writes) > 0 {
-			shards[i].recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes})
+		for _, e := range rec.VisWrites {
+			if db.shardOf(e.Col) == id {
+				visWrites = append(visWrites, e)
+			}
+		}
+		if len(writes) > 0 || len(visWrites) > 0 {
+			shards[i].recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes, VisWrites: visWrites})
 		}
 	}
-	// The whole cross-shard record is logged once, to the lowest
-	// involved shard's segment — replay merges shard logs by commit
-	// timestamp, so which segment carries the record is irrelevant.
+	// The whole cross-shard record is logged once: to the owning
+	// (visibility pseudo-column) shard of the first mutated table when
+	// the transaction birthed or killed rows — keeping a table's row
+	// ops in one timestamp-ordered segment series — and to the lowest
+	// involved shard otherwise. Replay merges shard logs idempotently
+	// (writes by timestamp, row ops buffered and sorted per row), so
+	// which segment carries the record never changes the outcome.
 	var walErr error
 	if db.wal != nil {
-		walErr = db.wal.AppendCommits(ids[0], []wal.CommitRecord{db.redoRecord(rec)})
+		logShard := ids[0]
+		if len(rec.Ops) > 0 {
+			logShard = db.shardOf(mvcc.VisColumnID(rec.Ops[0].Table))
+		}
+		walErr = db.wal.AppendCommits(logShard, []wal.CommitRecord{db.redoRecord(rec)})
 		db.kickAutoCkpt()
 	}
 	db.oracle.Complete(ts)
@@ -291,24 +304,65 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	return walErr
 }
 
-// install materialises t's staged writes at commit timestamp ts and
-// returns the commit record. The caller holds the commit locks of every
-// shard the writes are routed to. The write timestamp is stored
-// strictly before the data word, the ordering the lock-free read
-// protocol and snapshot repair depend on.
+// install materialises t's staged writes and row ops at commit
+// timestamp ts and returns the commit record. The caller holds the
+// commit locks of every shard the writes and row ops are routed to
+// (including each mutated table's visibility pseudo-column shard). The
+// write timestamp is stored strictly before the data word, the
+// ordering the lock-free read protocol and snapshot repair depend on.
+//
+// Writes into rows the transaction itself inserts skip the version
+// chain push: the displaced word is garbage from the slot's previous
+// (reclaimed, below the GC floor) or never-born incarnation, which no
+// reader can reach — every reader old enough to want it already sees
+// the row as dead or unborn through the visibility arrays. Row ops run
+// after all writes, death reset before birth, birth last: a concurrent
+// lock-free reader that observes the birth timestamp therefore
+// observes the fully materialised row, and one that doesn't skips the
+// row entirely.
 func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 	writes := make([]mvcc.WriteEntry, 0, t.NumWrites())
 	t.EachWrite(func(id mvcc.ColumnID, row int, val int64) {
 		c := db.columnByID(id)
+		if t.RowInserted(id.Table, row) {
+			c.wts.SetU(row, ts)
+			c.data.Set(row, val)
+			writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: val, New: val})
+			return
+		}
 		old := c.data.Get(row)
 		oldWTS := c.wts.GetU(row)
 		c.chain.Push(row, old, oldWTS)
-		c.meta.Note(row)
+		c.noteVersioned(row)
 		c.wts.SetU(row, ts)
 		c.data.Set(row, val)
 		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
 	})
-	return mvcc.CommitRecord{TS: ts, Writes: writes}
+	rec := mvcc.CommitRecord{TS: ts, Writes: writes}
+	t.EachRowOp(func(op mvcc.RowOp) {
+		tab := db.tableByIdx(op.Table)
+		tab.visMutated.Store(true)
+		if op.Del {
+			// Shadow every column of the dying row with its last value:
+			// a concurrent reader whose predicate or point read covered
+			// the row read state this deletion invalidates.
+			for _, c := range tab.cols {
+				old := c.data.Get(op.Row)
+				rec.VisWrites = append(rec.VisWrites,
+					mvcc.WriteEntry{Col: c.id, Row: op.Row, Old: old, New: old})
+			}
+			tab.st.Death().SetU(op.Row, ts)
+			db.st.rowDeletes.Add(1)
+		} else {
+			tab.st.Death().SetU(op.Row, 0)
+			tab.st.Birth().SetU(op.Row, ts)
+			db.st.rowInserts.Add(1)
+		}
+		rec.VisWrites = append(rec.VisWrites,
+			mvcc.WriteEntry{Col: mvcc.VisColumnID(op.Table), Row: op.Row})
+		rec.Ops = append(rec.Ops, op)
+	})
+	return rec
 }
 
 // maintainShards counts the batch's committed transactions and runs

@@ -95,6 +95,9 @@ type dbCounters struct {
 	olapBegun       atomic.Uint64
 	vacuums         atomic.Uint64
 	versionsGCed    atomic.Int64
+	rowInserts      atomic.Uint64
+	rowDeletes      atomic.Uint64
+	rowsReclaimed   atomic.Uint64
 	commitBatches   atomic.Uint64
 	crossShard      atomic.Uint64
 	checkpoints     atomic.Uint64
@@ -103,35 +106,117 @@ type dbCounters struct {
 }
 
 // table pairs the storage-layer arrays with the per-column MVCC state
-// the commit pipeline and snapshot readers share.
+// the commit pipeline and snapshot readers share, plus the row
+// allocator that makes the table growable.
 type table struct {
 	idx  int
 	st   *storage.Table
 	cols []*column
+
+	// Row slot allocator: amu guards next (the high-water mark — every
+	// row ever used is below it) and free (slots whose dead incarnation
+	// Vacuum reclaimed, reused by Insert before the table grows).
+	amu  sync.Mutex
+	next int
+	free []int
+
+	// visMutated is set once any insert or delete has ever been
+	// installed (or recovered). While false, every row below
+	// InitialRows is alive and nothing above is, so scans skip the
+	// per-row visibility checks entirely and OLAP generations never
+	// capture the visibility arrays — the exact pre-growable fast path.
+	// It only ever transitions false -> true, and always before the
+	// mutating commit's timestamp completes, so a reader that finds it
+	// false can have no visible row op at its read timestamp.
+	visMutated atomic.Bool
 }
 
-// column is one table column: its data and write-timestamp arrays plus
-// the version chains and block metadata of displaced versions.
+// reserve hands out an exclusive row slot for an insert: a reclaimed
+// free slot if one exists, else the next slot above the high-water
+// mark, growing the table's mapped capacity (and the per-chunk scan
+// metadata of every column) chunk-wise when the mark passes it.
+func (t *table) reserve() (int, error) {
+	t.amu.Lock()
+	defer t.amu.Unlock()
+	if n := len(t.free); n > 0 {
+		row := t.free[n-1]
+		t.free = t.free[:n-1]
+		return row, nil
+	}
+	row := t.next
+	if row >= t.st.Capacity() {
+		if err := t.st.EnsureCapacity(row + 1); err != nil {
+			return 0, err
+		}
+		t.growMetas()
+	}
+	t.next++
+	return row, nil
+}
+
+// release returns reserved-but-never-committed slots (aborted or
+// conflicted inserts) to the free list; their birth timestamps are
+// still NeverTS, so they were never visible.
+func (t *table) release(rows []int) {
+	t.amu.Lock()
+	t.free = append(t.free, rows...)
+	t.amu.Unlock()
+}
+
+// liveVisible reports whether row is visible at ts in the live
+// visibility arrays: born at or before ts and not dead at or before
+// ts. Reads are lock-free; the install order (values, then death
+// reset, then birth last) and the reuse guard (rows are only reclaimed
+// below the GC floor) make every interleaving resolve to the correct
+// verdict for any registered reader timestamp.
+func (t *table) liveVisible(row int, ts uint64) bool {
+	if b := t.st.Birth().GetU(row); b > ts {
+		return false // unborn (NeverTS) or born after ts
+	}
+	d := t.st.Death().GetU(row)
+	return d == 0 || d > ts
+}
+
+// growMetas appends fresh per-chunk block metadata to every column
+// until it covers the table's capacity. Chunk metadata is append-only
+// and individual BlockMeta values never move, so concurrent Note calls
+// (under commit shard locks) and lock-free scan reads stay safe across
+// growth. Callers serialise growth (t.amu or recovery).
+func (t *table) growMetas() {
+	chunks := t.st.Capacity() / t.st.ChunkRows()
+	for _, c := range t.cols {
+		cur := *c.metas.Load()
+		if len(cur) >= chunks {
+			continue
+		}
+		next := make([]*mvcc.BlockMeta, len(cur), chunks)
+		copy(next, cur)
+		for len(next) < chunks {
+			next = append(next, mvcc.NewBlockMeta(t.st.ChunkRows()))
+		}
+		c.metas.Store(&next)
+	}
+}
+
+// column is one table column: its data and write-timestamp extents plus
+// the version chains and per-chunk block metadata of displaced
+// versions.
 type column struct {
 	id    mvcc.ColumnID
 	def   ColumnDef
-	tab   *storage.Table
-	data  storage.WordArray
-	wts   storage.WordArray
+	tab   *table
+	data  *storage.Extent
+	wts   *storage.Extent
 	chain *mvcc.ChainStore
-	meta  *mvcc.BlockMeta
+	metas atomic.Pointer[[]*mvcc.BlockMeta] // one per capacity chunk
 	dict  *storage.Dict
 }
 
-// regions returns the snapshot regions covering the column: data first,
-// write timestamps second. Both must be snapshotted together so OLAP
-// readers can tell which snapshot rows predate their timestamp.
-func (c *column) regions() []snapshot.Region {
-	d, w := c.tab.ColumnRegions(c.id.Col)
-	return []snapshot.Region{
-		{Addr: d.Addr, Len: d.Len},
-		{Addr: w.Addr, Len: w.Len},
-	}
+// noteVersioned records that row now carries a version chain, in the
+// chunk-grained scan metadata.
+func (c *column) noteVersioned(row int) {
+	cr := c.tab.st.ChunkRows()
+	(*c.metas.Load())[row/cr].Note(row % cr)
 }
 
 // Open creates a database configured by opts: purely in-memory by
@@ -266,8 +351,9 @@ func columnAlloc(proc *vmem.Process, strat snapshot.Strategy) storage.ColumnAllo
 	}
 }
 
-// CreateTable allocates a table with the given schema and fixed row
-// capacity. All pages are mapped and pre-faulted immediately.
+// CreateTable allocates a table with the given schema and initial
+// visible row count. All pages are mapped and pre-faulted immediately;
+// the table grows chunk-wise as Insert passes its capacity.
 func (db *DB) CreateTable(schema Schema, rows int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -277,22 +363,24 @@ func (db *DB) CreateTable(schema Schema, rows int) error {
 	if _, dup := db.tables[schema.Table]; dup {
 		return fmt.Errorf("%w: %q", ErrTableExists, schema.Table)
 	}
-	st, err := storage.NewTable(schema, rows, db.alloc)
+	st, err := storage.NewTable(db.proc, schema, rows, db.alloc)
 	if err != nil {
 		return err
 	}
-	t := &table{idx: len(db.tabList), st: st}
+	t := &table{idx: len(db.tabList), st: st, next: rows}
 	for i, def := range schema.Columns {
-		t.cols = append(t.cols, &column{
+		c := &column{
 			id:    mvcc.ColumnID{Table: t.idx, Col: i},
 			def:   def,
-			tab:   st,
+			tab:   t,
 			data:  st.Data(i),
 			wts:   st.WTS(i),
 			chain: mvcc.NewChainStore(),
-			meta:  mvcc.NewBlockMeta(rows),
 			dict:  st.Dict(),
-		})
+		}
+		metas := []*mvcc.BlockMeta{mvcc.NewBlockMeta(st.ChunkRows())}
+		c.metas.Store(&metas)
+		t.cols = append(t.cols, c)
 	}
 	db.tables[schema.Table] = t
 	db.tabList = append(db.tabList, t)
@@ -342,11 +430,9 @@ func (db *DB) Begin(class TxnClass) (*Txn, error) {
 
 // lookup resolves a (table, column) name pair.
 func (db *DB) lookup(tab, col string) (*column, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t := db.tables[tab]
-	if t == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tab)
+	t, err := db.lookupTable(tab)
+	if err != nil {
+		return nil, err
 	}
 	i := t.st.Schema().ColumnIndex(col)
 	if i < 0 {
@@ -354,6 +440,27 @@ func (db *DB) lookup(tab, col string) (*column, error) {
 	}
 	return t.cols[i], nil
 }
+
+// lookupTable resolves a table name.
+func (db *DB) lookupTable(tab string) (*table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.tables[tab]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tab)
+	}
+	return t, nil
+}
+
+// tableByIdx resolves a table index back to its table.
+func (db *DB) tableByIdx(idx int) *table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tabList[idx]
+}
+
+// chunkRowsOf returns the chunk granularity of the table at idx.
+func (db *DB) chunkRowsOf(idx int) int { return db.tableByIdx(idx).st.ChunkRows() }
 
 // columnByID resolves a ColumnID back to its column.
 func (db *DB) columnByID(id mvcc.ColumnID) *column {
@@ -376,8 +483,11 @@ func (db *DB) Load(tab, col string, vals []int64) error {
 	if err != nil {
 		return err
 	}
-	if len(vals) > c.data.Rows() {
-		return fmt.Errorf("%w: %d values into %d rows", ErrRowRange, len(vals), c.data.Rows())
+	if len(vals) > c.tab.st.InitialRows() {
+		// Bounded by the born-at-time-zero rows, not the chunk-rounded
+		// capacity: values loaded into unborn slots would silently never
+		// become visible.
+		return fmt.Errorf("%w: %d values into %s.%s (%d rows)", ErrRowRange, len(vals), tab, col, c.tab.st.InitialRows())
 	}
 	return db.loadColumn(c, vals, nil)
 }
@@ -394,8 +504,8 @@ func (db *DB) LoadStrings(tab, col string, vals []string) error {
 	if c.def.Type != Varchar {
 		return fmt.Errorf("%w: %s is %s, want VARCHAR", ErrType, col, c.def.Type)
 	}
-	if len(vals) > c.data.Rows() {
-		return fmt.Errorf("%w: %d values into %d rows", ErrRowRange, len(vals), c.data.Rows())
+	if len(vals) > c.tab.st.InitialRows() {
+		return fmt.Errorf("%w: %d values into %s.%s (%d rows)", ErrRowRange, len(vals), tab, col, c.tab.st.InitialRows())
 	}
 	return db.loadColumn(c, nil, vals)
 }
@@ -439,11 +549,14 @@ func (db *DB) gcFloor() uint64 {
 
 // Vacuum garbage-collects recently-committed records and version
 // chains that no running transaction or pinned snapshot can still see,
-// returning the number of version nodes removed. Shard-local versions
-// of both passes also run automatically every few thousand commits.
-// It serialises with commit processing by holding every shard commit
-// lock: pruning between a commit's chain push and its timestamp store
-// could reap a version a concurrent reader still needs.
+// returning the number of version nodes removed, and reclaims rows
+// whose death timestamp lies below the same floor into their table's
+// free list, where Insert reuses them before the table grows. Shard-
+// local versions of the chain passes also run automatically every few
+// thousand commits. It serialises with commit processing by holding
+// every shard commit lock: pruning between a commit's chain push and
+// its timestamp store could reap a version a concurrent reader still
+// needs, and row reclamation must not race a birth or death install.
 func (db *DB) Vacuum() int64 {
 	db.lockAllShards()
 	defer db.unlockAllShards()
@@ -453,9 +566,44 @@ func (db *DB) Vacuum() int64 {
 		s.recent.PruneBelow(floor)
 		removed += db.vacuumShardChains(s, floor)
 	}
+	db.reclaimRows(floor)
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
 	return removed
+}
+
+// reclaimRows moves rows dead at or below floor to their table's free
+// list, marking the slot unborn (birth NeverTS) so no later reader can
+// resurrect the dead incarnation. The caller holds every shard commit
+// lock (no concurrent birth/death installs) and floor is the GC floor
+// (no running transaction or pinned generation reads below it), so
+// every current and future reader already sees these rows as dead.
+// The death timestamp is left in place: recovery uses the
+// (birth=NeverTS, death!=0) pair persisted by a later checkpoint to
+// rebuild the free list.
+func (db *DB) reclaimRows(floor uint64) {
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
+		if !t.visMutated.Load() {
+			continue
+		}
+		birth, death := t.st.Birth(), t.st.Death()
+		t.amu.Lock()
+		for row := 0; row < t.next; row++ {
+			b := birth.GetU(row)
+			if b == storage.NeverTS {
+				continue // unborn, reserved, or already reclaimed
+			}
+			if d := death.GetU(row); d != 0 && d <= floor {
+				birth.SetU(row, storage.NeverTS)
+				t.free = append(t.free, row)
+				db.st.rowsReclaimed.Add(1)
+			}
+		}
+		t.amu.Unlock()
+	}
 }
 
 // Close releases the manager's pin on the current snapshot generation,

@@ -3,6 +3,7 @@ package ankerdb
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"ankerdb/internal/mvcc"
@@ -27,9 +28,10 @@ func tableRecord(schema Schema, rows int) wal.TableRecord {
 // redoRecord converts a committed transaction's record into its WAL
 // form. VARCHAR writes carry the decoded string so replay can re-seed
 // the dictionary: a bare code would only be meaningful against the
-// exact dictionary state of the crashed process. It runs on the commit
-// hot path under the shard lock, so the table list is locked once for
-// the whole record, not per write.
+// exact dictionary state of the crashed process. Row ops ride in the
+// same record (the kind-3 layout), so one frame carries the whole
+// transaction. It runs on the commit hot path under the shard lock, so
+// the table list is locked once for the whole record, not per write.
 func (db *DB) redoRecord(rec mvcc.CommitRecord) wal.CommitRecord {
 	out := wal.CommitRecord{TS: rec.TS, Writes: make([]wal.RedoWrite, 0, len(rec.Writes))}
 	db.mu.RLock()
@@ -40,6 +42,9 @@ func (db *DB) redoRecord(rec mvcc.CommitRecord) wal.CommitRecord {
 			w.Str, w.HasStr = c.dict.Decode(e.New), true
 		}
 		out.Writes = append(out.Writes, w)
+	}
+	for _, op := range rec.Ops {
+		out.Ops = append(out.Ops, wal.RowOp{Table: op.Table, Row: op.Row, Del: op.Del})
 	}
 	return out
 }
@@ -84,20 +89,46 @@ func (db *DB) Checkpoint() error {
 	err := db.wal.WriteCheckpoint(g.ts, len(tabs), func(w *wal.CheckpointWriter) error {
 		for _, t := range tabs {
 			schema := t.st.Schema()
-			if err := w.BeginTable(schema.Table, t.st.Rows(), len(t.cols)); err != nil {
-				return err
-			}
-			for _, c := range t.cols {
+			// Capture every column and the visibility arrays before
+			// writing anything: the table can grow chunk-wise while the
+			// checkpoint streams, so the table section's row count is
+			// the minimum captured capacity — rows born above it carry
+			// commit timestamps past the checkpoint's and replay from
+			// the retained WAL records.
+			snaps := make([]*colSnap, len(t.cols))
+			for i, c := range t.cols {
 				cs, err := g.colSnap(c)
 				if err != nil {
 					return err
 				}
-				if err := storage.WriteWords(w, c.data.Rows(), cs.data.GetU); err != nil {
+				snaps[i] = cs
+			}
+			vs, err := g.visSnap(t)
+			if err != nil {
+				return err
+			}
+			rows := vs.rows()
+			for _, cs := range snaps {
+				if cs.rows() < rows {
+					rows = cs.rows()
+				}
+			}
+			if err := w.BeginTable(schema.Table, rows, len(t.cols)); err != nil {
+				return err
+			}
+			for _, cs := range snaps {
+				if err := storage.WriteWords(w, rows, cs.data.GetU); err != nil {
 					return err
 				}
-				if err := storage.WriteWords(w, c.wts.Rows(), cs.wts.GetU); err != nil {
+				if err := storage.WriteWords(w, rows, cs.wts.GetU); err != nil {
 					return err
 				}
+			}
+			if err := storage.WriteWords(w, rows, vs.data.GetU); err != nil {
+				return err
+			}
+			if err := storage.WriteWords(w, rows, vs.wts.GetU); err != nil {
+				return err
 			}
 			// The dictionary is read only now, after the last column
 			// capture: being append-only it is a superset of every code
@@ -221,16 +252,38 @@ func (db *DB) logLoad(c *column, vals []int64, strs []string) error {
 	return db.wal.AppendLoads(db.shardOf(c.id), recs)
 }
 
+// maxRecoveredRow bounds how far replay will grow a table for a
+// record's row index: a CRC-valid record never legitimately references
+// rows this far above anything the engine can allocate, so larger
+// indexes are treated like unknown addresses (the record is skipped)
+// instead of ballooning recovery memory. (1<<30, not 1<<31: the bound
+// must stay an int on 32-bit platforms.)
+const maxRecoveredRow = 1 << 30
+
+// visKey / visOp buffer replayed row ops per (table, row): segments
+// replay shard by shard in arbitrary cross-shard order, so births and
+// deaths of one row are collected first and applied in timestamp order
+// afterwards — making row-op replay as order-insensitive as the
+// newer-wins rule makes writes.
+type visKey struct{ table, row int }
+
+type visOp struct {
+	ts  uint64
+	del bool
+}
+
 // recover rebuilds engine state from the durability directory: replay
 // the schema log (recreating every table in original index order),
-// load the newest checkpoint into the column arrays, then re-apply WAL
+// load the newest checkpoint into the column and visibility arrays
+// (growing tables to the checkpointed capacity), then re-apply WAL
 // commit records. Replay is idempotent by commit timestamp — a write
 // lands only if its record is newer than the row's current write
-// timestamp — so record order across shard logs is irrelevant and
+// timestamp, and row ops are buffered and applied in timestamp order
+// per row — so record order across shard logs is irrelevant and
 // checkpoint-covered records are naturally skipped. Finally the oracle
-// is re-seeded from the newest durable commit timestamp, making all
-// recovered rows immediately visible at their original commit
-// timestamps.
+// is re-seeded from the newest durable commit timestamp and every
+// table's row allocator (high-water mark + free list) is rebuilt from
+// the recovered visibility arrays.
 func (db *DB) recover() error {
 	db.recovering = true
 	defer func() { db.recovering = false }()
@@ -260,6 +313,7 @@ func (db *DB) recover() error {
 		// timestamps can never collide with a recovered row's.
 		maxTS = ckptMaxWTS
 	}
+	visOps := map[visKey][]visOp{}
 	cols := make([]*column, 0, 8)
 	if err := db.wal.ReplayCommits(func(rec wal.LoadRecord) error {
 		// Bulk-load chunks are the state at time zero: a chunk value
@@ -301,7 +355,8 @@ func (db *DB) recover() error {
 		// tail, and without breaking per-transaction atomicity. It must
 		// not fail recovery: that would make the directory permanently
 		// unopenable over a policy that only promises to lose recent
-		// commits.
+		// commits. Rows above the recovered capacity are not errors —
+		// inserts put them there — so tables grow chunk-wise on demand.
 		cols = cols[:0]
 		for _, w := range rec.Writes {
 			c, ok := db.recoveredColumn(w)
@@ -309,6 +364,20 @@ func (db *DB) recover() error {
 				return nil
 			}
 			cols = append(cols, c)
+		}
+		for _, op := range rec.Ops {
+			if op.Table < 0 || op.Table >= len(db.tabList) {
+				return nil
+			}
+			if op.Row < 0 || op.Row >= maxRecoveredRow {
+				return nil
+			}
+		}
+		for _, op := range rec.Ops {
+			t := db.tabList[op.Table]
+			if err := db.growRecovered(t, op.Row); err != nil {
+				return err
+			}
 		}
 		for i, w := range rec.Writes {
 			c := cols[i]
@@ -322,21 +391,118 @@ func (db *DB) recover() error {
 			c.wts.SetU(w.Row, rec.TS)
 			c.data.Set(w.Row, val)
 		}
+		for _, op := range rec.Ops {
+			k := visKey{table: op.Table, row: op.Row}
+			visOps[k] = append(visOps[k], visOp{ts: rec.TS, del: op.Del})
+		}
 		replayed++
 		return nil
 	}); err != nil {
 		return fmt.Errorf("ankerdb: recovery: %w", err)
 	}
 
+	db.applyVisOps(visOps)
+	db.rebuildRowState()
 	db.oracle.Seed(maxTS)
 	db.recoveredTxns = replayed
 	db.recoveredLoads = loads
 	return nil
 }
 
+// applyVisOps replays the buffered row ops of every (table, row) in
+// commit-timestamp order: each insert resets the death stamp and
+// births the row at its timestamp, each delete kills it — so the final
+// (birth, death) pair reflects the newest durable incarnation
+// regardless of the order segments were streamed in. Ops at or below
+// the newest stamp the checkpoint already recovered for the row are
+// skipped — the checkpointed pair reflects their effect (or a newer
+// one) — mirroring the newer-wins idempotence rule write replay
+// applies per cell, so replaying a record any number of times (or one
+// that survived truncation in a foreign shard series) never regresses
+// recovered state.
+func (db *DB) applyVisOps(visOps map[visKey][]visOp) {
+	for k, ops := range visOps {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].ts < ops[j].ts })
+		t := db.tabList[k.table]
+		birth, death := t.st.Birth(), t.st.Death()
+		floor := death.GetU(k.row)
+		if b := birth.GetU(k.row); b != storage.NeverTS && b > floor {
+			floor = b
+		}
+		for _, op := range ops {
+			if op.ts <= floor {
+				continue
+			}
+			if op.del {
+				death.SetU(k.row, op.ts)
+			} else {
+				death.SetU(k.row, 0)
+				birth.SetU(k.row, op.ts)
+			}
+		}
+	}
+}
+
+// rebuildRowState recomputes every table's row allocator from the
+// recovered visibility arrays: the high-water mark covers every slot
+// ever used, slots whose reclaimed state a checkpoint persisted
+// (birth NeverTS with a death stamp) return to the free list, and
+// visMutated reflects whether any row was ever transactionally born
+// or killed.
+func (db *DB) rebuildRowState() {
+	for _, t := range db.tabList {
+		birth, death := t.st.Birth(), t.st.Death()
+		next := t.st.InitialRows()
+		var free []int
+		mutated := false
+		for row, capacity := 0, t.st.Capacity(); row < capacity; row++ {
+			b, d := birth.GetU(row), death.GetU(row)
+			switch {
+			case b != storage.NeverTS:
+				if row >= next {
+					next = row + 1
+				}
+				if b != 0 || d != 0 {
+					mutated = true
+				}
+			case d != 0:
+				// Reclaimed by a pre-crash Vacuum and persisted by a
+				// checkpoint: the slot is free for reuse.
+				free = append(free, row)
+				if row >= next {
+					next = row + 1
+				}
+				mutated = true
+			}
+		}
+		t.next, t.free = next, free
+		if next > t.st.InitialRows() {
+			mutated = true
+		}
+		t.visMutated.Store(mutated)
+	}
+}
+
+// growRecovered grows t (and its per-chunk scan metadata) to cover
+// row, chunk-wise. Recovery is single-threaded, but the allocator
+// mutex also orders the metadata growth against nothing for free.
+func (db *DB) growRecovered(t *table, row int) error {
+	if row < t.st.Capacity() {
+		return nil
+	}
+	t.amu.Lock()
+	defer t.amu.Unlock()
+	if err := t.st.EnsureCapacity(row + 1); err != nil {
+		return err
+	}
+	t.growMetas()
+	return nil
+}
+
 // recoveredColumn resolves a redo write's column against the
-// recovered schema; ok is false for addresses the durable schema
-// prefix does not cover.
+// recovered schema, growing the table when the write lands above its
+// recovered capacity (rows born by inserts); ok is false for
+// addresses the durable schema prefix does not cover.
 func (db *DB) recoveredColumn(w wal.RedoWrite) (*column, bool) {
 	if w.Table < 0 || w.Table >= len(db.tabList) {
 		return nil, false
@@ -345,11 +511,13 @@ func (db *DB) recoveredColumn(w wal.RedoWrite) (*column, bool) {
 	if w.Col < 0 || w.Col >= len(t.cols) {
 		return nil, false
 	}
-	c := t.cols[w.Col]
-	if w.Row < 0 || w.Row >= c.data.Rows() {
+	if w.Row < 0 || w.Row >= maxRecoveredRow {
 		return nil, false
 	}
-	return c, true
+	if err := db.growRecovered(t, w.Row); err != nil {
+		return nil, false
+	}
+	return t.cols[w.Col], true
 }
 
 // recoveredLoadColumn resolves a bulk-load chunk's column and validates
@@ -381,13 +549,21 @@ func (db *DB) recoveredLoadColumn(r wal.LoadRecord) (*column, bool) {
 // recreated tables: column bodies arrive as fixed-size word windows
 // (storage.ReadWordsRegion) stored in place through page-wise bulk
 // writes, so restart memory stays O(chunk) however large the columns
-// are. It returns the checkpoint timestamp and the maximum write
-// timestamp of any loaded row (both 0 without a checkpoint) — the
-// latter can exceed the former when the checkpoint captured rows
-// committed after its timestamp, and the oracle must be seeded above
-// it.
+// are. Tables grow to the checkpointed capacity first — a checkpoint
+// taken after inserts covers more rows than the schema log's initial
+// count — and the visibility (birth/death) arrays stream back after
+// the columns. It returns the checkpoint timestamp and the maximum
+// commit timestamp of any loaded row (write, birth or death stamps;
+// both 0 without a checkpoint) — the latter can exceed the former when
+// the checkpoint captured rows committed after its timestamp, and the
+// oracle must be seeded above it.
 func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 	var maxWTS uint64
+	noteTS := func(v uint64) {
+		if v != storage.NeverTS && v > maxWTS {
+			maxWTS = v
+		}
+	}
 	ts, ok, err := db.wal.LoadCheckpoint(func(_ uint64, ntables int, r *wal.CheckpointReader) error {
 		for i := 0; i < ntables; i++ {
 			name, rows, cols, err := r.TableHeader()
@@ -398,9 +574,15 @@ func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 			if t == nil {
 				return fmt.Errorf("checkpointed table %q missing from schema log", name)
 			}
-			if t.st.Rows() != rows || len(t.cols) != cols {
-				return fmt.Errorf("checkpointed table %q is %d×%d, schema log says %d×%d",
-					name, rows, cols, t.st.Rows(), len(t.cols))
+			if len(t.cols) != cols {
+				return fmt.Errorf("checkpointed table %q has %d columns, schema log says %d",
+					name, cols, len(t.cols))
+			}
+			if rows < 0 || rows > maxRecoveredRow {
+				return fmt.Errorf("checkpointed table %q claims %d rows", name, rows)
+			}
+			if err := db.growRecovered(t, rows-1); err != nil {
+				return err
 			}
 			for _, c := range t.cols {
 				if err := storage.ReadWordsRegion(r, rows, c.data.FillWindow); err != nil {
@@ -408,14 +590,29 @@ func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 				}
 				if err := storage.ReadWordsRegion(r, rows, func(start int, words []uint64) {
 					for _, v := range words {
-						if v > maxWTS {
-							maxWTS = v
-						}
+						noteTS(v)
 					}
 					c.wts.FillWindow(start, words)
 				}); err != nil {
 					return err
 				}
+			}
+			birth, death := t.st.Birth(), t.st.Death()
+			if err := storage.ReadWordsRegion(r, rows, func(start int, words []uint64) {
+				for _, v := range words {
+					noteTS(v) // NeverTS (unborn) is excluded from the seed
+				}
+				birth.FillWindow(start, words)
+			}); err != nil {
+				return err
+			}
+			if err := storage.ReadWordsRegion(r, rows, func(start int, words []uint64) {
+				for _, v := range words {
+					noteTS(v)
+				}
+				death.FillWindow(start, words)
+			}); err != nil {
+				return err
 			}
 			dict, err := r.TableDict()
 			if err != nil {

@@ -1,6 +1,9 @@
 package ankerdb
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Errors returned by the engine facade.
 var (
@@ -25,9 +28,18 @@ var (
 	// ErrNoSuchColumn is returned for unknown column names.
 	ErrNoSuchColumn = errors.New("ankerdb: no such column")
 
-	// ErrRowRange is returned for row indexes outside a table's fixed
-	// capacity.
+	// ErrRowRange is returned for row indexes outside a table's mapped
+	// capacity. The returned error names the table, column and
+	// offending row index; match it with errors.Is.
 	ErrRowRange = errors.New("ankerdb: row index out of range")
+
+	// ErrRowNotVisible is returned for rows that exist physically but
+	// are not visible at the transaction's read timestamp: never
+	// inserted, born after the snapshot, already deleted, or staged for
+	// deletion by the transaction itself. It also matches ErrRowRange
+	// under errors.Is, because "no such row at this snapshot" subsumes
+	// the fixed-capacity failure older callers tested for.
+	ErrRowNotVisible = errors.New("ankerdb: row not visible at read timestamp")
 
 	// ErrTableExists is returned by CreateTable for duplicate names.
 	ErrTableExists = errors.New("ankerdb: table already exists")
@@ -40,3 +52,35 @@ var (
 	// opened without WithDurability.
 	ErrNoDurability = errors.New("ankerdb: durability not enabled")
 )
+
+// errRowRange builds the named ErrRowRange error for (table, column,
+// row) against the table's current capacity; col may be empty for
+// whole-row operations (Delete).
+func errRowRange(tab, col string, row, capacity int) error {
+	at := tab
+	if col != "" {
+		at = tab + "." + col
+	}
+	return fmt.Errorf("%w: row %d of %s (capacity %d)", ErrRowRange, row, at, capacity)
+}
+
+// notVisibleError names a row that exists physically but is not part
+// of the visible row set at the transaction's read timestamp. It
+// matches both ErrRowNotVisible and ErrRowRange under errors.Is.
+type notVisibleError struct {
+	tab, col string
+	row      int
+	ts       uint64
+}
+
+func (e *notVisibleError) Error() string {
+	at := e.tab
+	if e.col != "" {
+		at = e.tab + "." + e.col
+	}
+	return fmt.Sprintf("ankerdb: row %d of %s not visible at read timestamp %d", e.row, at, e.ts)
+}
+
+func (e *notVisibleError) Is(target error) bool {
+	return target == ErrRowNotVisible || target == ErrRowRange
+}

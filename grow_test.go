@@ -1,0 +1,637 @@
+package ankerdb_test
+
+// Growable-table tests: transactional Insert/Delete with
+// snapshot-consistent visibility, free-list reuse through Vacuum,
+// chunked capacity growth, and the precision-locking interactions of
+// row births and deaths — across all four snapshot strategies.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ankerdb"
+)
+
+const growRows = 64 // initial visible rows of the grow test table
+
+func openGrowDB(t *testing.T, strat ankerdb.SnapshotStrategy, opts ...ankerdb.Option) *ankerdb.DB {
+	t.Helper()
+	db, err := ankerdb.Open(append([]ankerdb.Option{
+		ankerdb.WithSnapshotStrategy(strat),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithInitialSchema(ankerdb.Schema{
+			Table: "orders",
+			Columns: []ankerdb.ColumnDef{
+				{Name: "qty", Type: ankerdb.Int64},
+				{Name: "item", Type: ankerdb.Varchar},
+			},
+		}, growRows),
+	}, opts...)...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", strat, err)
+	}
+	return db
+}
+
+// insertOne commits a single-row insert and returns its row index.
+func insertOne(t *testing.T, db *ankerdb.DB, qty int64, item string) int {
+	t.Helper()
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	row, err := w.Insert("orders", map[string]any{"qty": qty, "item": item})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return row
+}
+
+// deleteOne commits a single-row delete.
+func deleteOne(t *testing.T, db *ankerdb.DB, row int) {
+	t.Helper()
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := w.Delete("orders", row); err != nil {
+		t.Fatalf("Delete(%d): %v", row, err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func count(t *testing.T, txn *ankerdb.Txn) int64 {
+	t.Helper()
+	n, err := txn.Aggregate("orders", "qty", ankerdb.Count)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return n
+}
+
+// TestInsertDeleteVisibility is the core growable-table acceptance
+// test: inserted rows appear exactly once committed, deleted rows
+// disappear, and OLTP reads, OLAP scans, filters and counts agree on
+// the visible row set — under every snapshot strategy.
+func TestInsertDeleteVisibility(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat)
+			defer db.Close()
+
+			row := insertOne(t, db, 42, "anvil")
+			if row < growRows {
+				t.Fatalf("insert landed on pre-existing row %d", row)
+			}
+
+			r, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r); n != growRows+1 {
+				t.Fatalf("Count = %d, want %d", n, growRows+1)
+			}
+			if v, err := r.Get("orders", "qty", row); err != nil || v != 42 {
+				t.Fatalf("Get(inserted) = %d, %v, want 42", v, err)
+			}
+			if s, err := r.GetString("orders", "item", row); err != nil || s != "anvil" {
+				t.Fatalf("GetString(inserted) = %q, %v, want anvil", s, err)
+			}
+			if rows, err := r.Filter("orders", "qty", 42, 42); err != nil || len(rows) != 1 || rows[0] != row {
+				t.Fatalf("Filter(42) = %v, %v, want [%d]", rows, err, row)
+			}
+			if sum, err := r.Aggregate("orders", "qty", ankerdb.Sum); err != nil || sum != 42 {
+				t.Fatalf("Sum = %d, %v, want 42", sum, err)
+			}
+			mustCommit(t, r)
+
+			deleteOne(t, db, row)
+			deleteOne(t, db, 0) // a pre-existing row dies too
+
+			r2, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r2); n != growRows-1 {
+				t.Fatalf("Count after deletes = %d, want %d", n, growRows-1)
+			}
+			if _, err := r2.Get("orders", "qty", row); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+				t.Fatalf("Get(deleted) = %v, want ErrRowNotVisible", err)
+			}
+			if _, err := r2.Get("orders", "qty", 0); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+				t.Fatalf("Get(deleted pre-existing) = %v, want ErrRowNotVisible", err)
+			}
+			if got, err := r2.Scan("orders", "qty"); err != nil || len(got) != growRows-1 {
+				t.Fatalf("Scan = %d rows, %v, want %d", len(got), err, growRows-1)
+			}
+			mustCommit(t, r2)
+
+			st := db.Stats()
+			if st.RowInserts != 1 || st.RowDeletes != 2 {
+				t.Fatalf("RowInserts/RowDeletes = %d/%d, want 1/2", st.RowInserts, st.RowDeletes)
+			}
+		})
+	}
+}
+
+// TestOLAPNeverSeesConcurrentInsert is the acceptance criterion: an
+// OLAP transaction opened before a concurrent insert commits must
+// never observe the new row — in counts, scans, filters or point
+// reads — under every strategy.
+func TestOLAPNeverSeesConcurrentInsert(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat)
+			defer db.Close()
+
+			// Mutate visibility once so the OLAP path exercises the
+			// visibility snapshot (not the unmutated fast path).
+			deleteOne(t, db, 1)
+
+			r, _ := db.Begin(ankerdb.OLAP)
+
+			row := insertOne(t, db, 7, "ghost") // commits after r began
+
+			if n := count(t, r); n != growRows-1 {
+				t.Fatalf("Count = %d, want %d (insert leaked)", n, growRows-1)
+			}
+			if got, _ := r.Scan("orders", "qty"); len(got) != growRows-1 {
+				t.Fatalf("Scan = %d rows, want %d", len(got), growRows-1)
+			}
+			if rows, _ := r.Filter("orders", "qty", 7, 7); len(rows) != 0 {
+				t.Fatalf("Filter saw concurrent insert: %v", rows)
+			}
+			if _, err := r.Get("orders", "qty", row); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+				t.Fatalf("Get(not-yet-visible) = %v, want ErrRowNotVisible", err)
+			}
+			mustCommit(t, r)
+
+			// A fresh OLAP transaction sees it.
+			r2, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r2); n != growRows {
+				t.Fatalf("fresh Count = %d, want %d", n, growRows)
+			}
+			mustCommit(t, r2)
+		})
+	}
+}
+
+// TestInsertReadOwnWritesAndAbort: staged inserts are visible to their
+// own transaction only, and an abort returns the reserved slot for
+// reuse.
+func TestInsertReadOwnWritesAndAbort(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	w, _ := db.Begin(ankerdb.OLTP)
+	row, err := w.Insert("orders", map[string]any{"qty": int64(9)})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if v, err := w.Get("orders", "qty", row); err != nil || v != 9 {
+		t.Fatalf("own Get = %d, %v, want 9", v, err)
+	}
+	if n := count(t, w); n != growRows+1 {
+		t.Fatalf("own Count = %d, want %d", n, growRows+1)
+	}
+	if s, err := w.GetString("orders", "item", row); err != nil || s != "" {
+		t.Fatalf("own GetString(defaulted) = %q, %v, want empty", s, err)
+	}
+
+	other, _ := db.Begin(ankerdb.OLTP)
+	if _, err := other.Get("orders", "qty", row); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("foreign Get(staged insert) = %v, want ErrRowNotVisible", err)
+	}
+	mustCommit(t, other)
+
+	if err := w.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+
+	// The aborted slot is reused by the next insert.
+	if got := insertOne(t, db, 1, "x"); got != row {
+		t.Fatalf("aborted slot not reused: got row %d, want %d", got, row)
+	}
+}
+
+// TestVacuumReclaimsAndReuses: a deleted row is reclaimed once no
+// reader can see it and its slot is reused by the next insert instead
+// of growing the table.
+func TestVacuumReclaimsAndReuses(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	row := insertOne(t, db, 5, "dead")
+	deleteOne(t, db, row)
+	db.Vacuum()
+
+	st := db.Stats()
+	if st.RowsReclaimed != 1 || st.RowsFree != 1 {
+		t.Fatalf("RowsReclaimed/RowsFree = %d/%d, want 1/1", st.RowsReclaimed, st.RowsFree)
+	}
+
+	got := insertOne(t, db, 6, "alive")
+	if got != row {
+		t.Fatalf("free slot not reused: got row %d, want %d", got, row)
+	}
+	r, _ := db.Begin(ankerdb.OLAP)
+	if v, err := r.Get("orders", "qty", got); err != nil || v != 6 {
+		t.Fatalf("Get(reused) = %d, %v, want 6", v, err)
+	}
+	if n := count(t, r); n != growRows+1 {
+		t.Fatalf("Count = %d, want %d", n, growRows+1)
+	}
+	mustCommit(t, r)
+	if db.Stats().RowsFree != 0 {
+		t.Fatalf("free list not consumed: %d", db.Stats().RowsFree)
+	}
+}
+
+// TestVacuumSparesVisibleDeletes: a pinned OLAP generation below the
+// deletion keeps the row from being reclaimed.
+func TestVacuumSparesVisibleDeletes(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	row := insertOne(t, db, 5, "held")
+
+	r, _ := db.Begin(ankerdb.OLAP)
+	if n := count(t, r); n != growRows+1 {
+		t.Fatalf("Count = %d", n)
+	}
+
+	deleteOne(t, db, row)
+	db.Vacuum()
+	if got := db.Stats().RowsReclaimed; got != 0 {
+		t.Fatalf("reclaimed %d rows under a pinned snapshot, want 0", got)
+	}
+	// The pinned generation still sees the row.
+	if v, err := r.Get("orders", "qty", row); err != nil || v != 5 {
+		t.Fatalf("pinned Get = %d, %v, want 5", v, err)
+	}
+	mustCommit(t, r)
+
+	// Rotate the manager's current generation past the deletion (the
+	// manager's own pin keeps the old floor), then reclaim.
+	r2, _ := db.Begin(ankerdb.OLAP)
+	_ = count(t, r2)
+	mustCommit(t, r2)
+
+	db.Vacuum()
+	if got := db.Stats().RowsReclaimed; got != 1 {
+		t.Fatalf("reclaimed %d rows after release, want 1", got)
+	}
+}
+
+// TestGrowBeyondInitialCapacity inserts past the first chunk so the
+// table maps new capacity chunks, while an OLAP transaction pinned
+// before the growth keeps scanning its snapshot — the mapped regions
+// it captured must stay valid across growth under every strategy.
+func TestGrowBeyondInitialCapacity(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat)
+			defer db.Close()
+
+			before := db.Stats().TableCapacity
+
+			r, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r); n != growRows {
+				t.Fatalf("pinned Count = %d", n)
+			}
+
+			var rows []int
+			total := before - growRows + 17 // strictly past the first chunk
+			for i := 0; i < total; i++ {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row, err := w.Insert("orders", map[string]any{"qty": int64(i)})
+				if err != nil {
+					t.Fatalf("Insert %d: %v", i, err)
+				}
+				if err := w.Commit(); err != nil {
+					t.Fatalf("Commit %d: %v", i, err)
+				}
+				rows = append(rows, row)
+			}
+			if after := db.Stats().TableCapacity; after <= before {
+				t.Fatalf("capacity did not grow: %d -> %d", before, after)
+			}
+
+			// The pre-growth snapshot still scans consistently.
+			if n := count(t, r); n != growRows {
+				t.Fatalf("pinned Count after growth = %d, want %d", n, growRows)
+			}
+			if got, err := r.Scan("orders", "qty"); err != nil || len(got) != growRows {
+				t.Fatalf("pinned Scan = %d rows, %v", len(got), err)
+			}
+			mustCommit(t, r)
+
+			r2, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r2); n != int64(growRows+total) {
+				t.Fatalf("Count = %d, want %d", n, growRows+total)
+			}
+			for i, row := range rows {
+				if v, err := r2.Get("orders", "qty", row); err != nil || v != int64(i) {
+					t.Fatalf("Get(row %d) = %d, %v, want %d", row, v, err, i)
+				}
+			}
+			mustCommit(t, r2)
+		})
+	}
+}
+
+// TestDeleteConflicts: two transactions deleting the same row — the
+// second to commit must abort; and a scan concurrent with a delete is
+// invalidated at commit (the delete shadows the row's values).
+func TestDeleteConflicts(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	a, _ := db.Begin(ankerdb.OLTP)
+	b, _ := db.Begin(ankerdb.OLTP)
+	if err := a.Delete("orders", 3); err != nil {
+		t.Fatalf("a.Delete: %v", err)
+	}
+	if err := b.Delete("orders", 3); err != nil {
+		t.Fatalf("b.Delete: %v", err)
+	}
+	mustCommit(t, a)
+	if err := b.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("double delete commit = %v, want ErrConflict", err)
+	}
+
+	// Scan vs delete: the scanner's full-range predicate intersects the
+	// deleted row's shadowed values.
+	set(t, db, "orders", "qty", 5, 50)
+	c, _ := db.Begin(ankerdb.OLTP)
+	if _, err := c.Filter("orders", "qty", 0, 100); err != nil {
+		t.Fatalf("Filter: %v", err)
+	}
+	c.Set("orders", "qty", 6, 1)
+	deleteOne(t, db, 5)
+	if err := c.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("scan-vs-delete commit = %v, want ErrConflict", err)
+	}
+
+	// Count vs insert: a counted table changing size invalidates too.
+	d, _ := db.Begin(ankerdb.OLTP)
+	if _, err := d.Aggregate("orders", "qty", ankerdb.Count); err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	d.Set("orders", "qty", 7, 1)
+	insertOne(t, db, 70, "phantom")
+	if err := d.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("count-vs-insert commit = %v, want ErrConflict", err)
+	}
+}
+
+// TestRowErrors covers the named row errors and argument validation.
+func TestRowErrors(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	r, _ := db.Begin(ankerdb.OLTP)
+	capacity := db.Stats().TableCapacity
+	_, err := r.Get("orders", "qty", capacity)
+	if !errors.Is(err, ankerdb.ErrRowRange) {
+		t.Fatalf("Get(out of range) = %v, want ErrRowRange", err)
+	}
+	for _, want := range []string{"orders.qty", fmt.Sprint(capacity)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("ErrRowRange message %q does not name %q", err, want)
+		}
+	}
+	// A physically mapped but unborn row: not visible, and still an
+	// ErrRowRange match for older callers.
+	if _, err := r.Get("orders", "qty", growRows); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("Get(unborn) = %v, want ErrRowNotVisible", err)
+	}
+	if _, err := r.Get("orders", "qty", growRows); !errors.Is(err, ankerdb.ErrRowRange) {
+		t.Fatalf("Get(unborn) = %v, want ErrRowRange match too", err)
+	}
+	if err := r.Set("orders", "qty", growRows, 1); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("Set(unborn) = %v, want ErrRowNotVisible", err)
+	}
+	if err := r.Delete("orders", growRows); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("Delete(unborn) = %v, want ErrRowNotVisible", err)
+	}
+
+	if _, err := r.Insert("orders", map[string]any{"nope": int64(1)}); !errors.Is(err, ankerdb.ErrNoSuchColumn) {
+		t.Fatalf("Insert(bad column) = %v, want ErrNoSuchColumn", err)
+	}
+	if _, err := r.Insert("orders", map[string]any{"qty": "nan"}); !errors.Is(err, ankerdb.ErrType) {
+		t.Fatalf("Insert(string into int) = %v, want ErrType", err)
+	}
+	if _, err := r.Insert("orders", map[string]any{"item": int64(3)}); !errors.Is(err, ankerdb.ErrType) {
+		t.Fatalf("Insert(int into varchar) = %v, want ErrType", err)
+	}
+	if _, err := r.Insert("orders", map[string]any{"qty": 3.14}); !errors.Is(err, ankerdb.ErrType) {
+		t.Fatalf("Insert(float) = %v, want ErrType", err)
+	}
+	row, err := r.Insert("orders", map[string]any{"qty": 11})
+	if err != nil {
+		t.Fatalf("Insert(int): %v", err)
+	}
+	if err := r.Delete("orders", row); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("Delete(own insert) = %v, want error", err)
+	}
+	mustCommit(t, r)
+
+	o, _ := db.Begin(ankerdb.OLAP)
+	if _, err := o.Insert("orders", nil); !errors.Is(err, ankerdb.ErrReadOnly) {
+		t.Fatalf("OLAP Insert = %v, want ErrReadOnly", err)
+	}
+	if err := o.Delete("orders", 0); !errors.Is(err, ankerdb.ErrReadOnly) {
+		t.Fatalf("OLAP Delete = %v, want ErrReadOnly", err)
+	}
+	mustCommit(t, o)
+}
+
+// TestMixedInsertDeleteSetRace drives concurrent inserters, deleters,
+// updaters and OLAP scanners under every strategy (run with -race in
+// CI): every scanner must observe a snapshot-consistent row set, i.e.
+// Count == number of Scan values and every visible qty is either an
+// initial 1 or an inserted 1 — the sum equals the count.
+func TestMixedInsertDeleteSetRace(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat, ankerdb.WithSnapshotRefresh(4))
+			defer db.Close()
+
+			init := make([]int64, growRows)
+			for i := range init {
+				init[i] = 1
+			}
+			if err := db.Load("orders", "qty", init); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+
+			const (
+				inserters = 2
+				deleters  = 2
+				updaters  = 2
+				scanners  = 2
+				rounds    = 40
+			)
+			var wg sync.WaitGroup
+			errs := make(chan error, inserters+deleters+updaters+scanners)
+			var inserted atomic.Int64 // rows ever committed by inserters
+
+			for g := 0; g < inserters; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						w, err := db.Begin(ankerdb.OLTP)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if _, err := w.Insert("orders", map[string]any{"qty": int64(1)}); err != nil {
+							errs <- err
+							return
+						}
+						if err := w.Commit(); err == nil {
+							inserted.Add(1)
+						} else if !errors.Is(err, ankerdb.ErrConflict) {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			for g := 0; g < deleters; g++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						w, err := db.Begin(ankerdb.OLTP)
+						if err != nil {
+							errs <- err
+							return
+						}
+						row := (seed*rounds + i*7) % growRows
+						err = w.Delete("orders", row)
+						if err != nil {
+							// Already deleted by the other deleter: fine.
+							_ = w.Abort()
+							continue
+						}
+						if err := w.Commit(); err != nil && !errors.Is(err, ankerdb.ErrConflict) {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < updaters; g++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						w, err := db.Begin(ankerdb.OLTP)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Rewrite a visible row's qty to its invariant 1;
+						// a row deleted underneath fails visibly at Set or
+						// aborts at validation — both fine.
+						row := (seed*13 + i*3) % growRows
+						if err := w.Set("orders", "qty", row, 1); err != nil {
+							_ = w.Abort()
+							continue
+						}
+						if err := w.Commit(); err != nil && !errors.Is(err, ankerdb.ErrConflict) {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < scanners; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						r, err := db.Begin(ankerdb.OLAP)
+						if err != nil {
+							errs <- err
+							return
+						}
+						n, err := r.Aggregate("orders", "qty", ankerdb.Count)
+						if err != nil {
+							errs <- err
+							return
+						}
+						sum, err := r.Aggregate("orders", "qty", ankerdb.Sum)
+						if err != nil {
+							errs <- err
+							return
+						}
+						vals, err := r.Scan("orders", "qty")
+						if err != nil {
+							errs <- err
+							return
+						}
+						if int64(len(vals)) != n || sum != n {
+							errs <- fmt.Errorf("inconsistent snapshot: count=%d scan=%d sum=%d", n, len(vals), sum)
+							return
+						}
+						if err := r.Commit(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			db.Vacuum()
+			final, _ := db.Begin(ankerdb.OLAP)
+			n := count(t, final)
+			sum, _ := final.Aggregate("orders", "qty", ankerdb.Sum)
+			if n != sum {
+				t.Fatalf("final count %d != sum %d", n, sum)
+			}
+			mustCommit(t, final)
+		})
+	}
+}
+
+// TestAbsenceReadValidated: observing a row as NOT visible is a read
+// too. A transaction that probed an unborn slot (ErrRowNotVisible) and
+// then writes must abort when a concurrent insert births that slot —
+// otherwise the two commits would write-skew with no serial order.
+func TestAbsenceReadValidated(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	a, _ := db.Begin(ankerdb.OLTP)
+	if _, err := a.Get("orders", "qty", growRows); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+		t.Fatalf("probe = %v, want ErrRowNotVisible", err)
+	}
+	if err := a.Set("orders", "qty", 0, 1); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+
+	// The concurrent insert lands exactly on the probed slot (the next
+	// high-water row) and commits first.
+	if row := insertOne(t, db, 9, "born"); row != growRows {
+		t.Fatalf("insert landed on %d, want %d", row, growRows)
+	}
+
+	if err := a.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("Commit after invalidated absence read = %v, want ErrConflict", err)
+	}
+}

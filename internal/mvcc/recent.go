@@ -4,9 +4,20 @@ import "sync"
 
 // CommitRecord is the write set of a committed transaction, kept for
 // the validation of transactions that overlapped it in time.
+//
+// Writes are the materialised column writes (also the redo set).
+// VisWrites are validation-only entries carried by row births and
+// deaths: a delete shadows every column of the killed row with its
+// last value (so a concurrent reader whose predicate or point read
+// covered the row aborts), and every row op marks the table's
+// visibility pseudo column (so concurrent deletes of the same row
+// serialise). VisWrites never reach the WAL or the column arrays; Ops
+// are the row births/deaths themselves, which do.
 type CommitRecord struct {
-	TS     uint64
-	Writes []WriteEntry
+	TS        uint64
+	Writes    []WriteEntry
+	VisWrites []WriteEntry
+	Ops       []RowOp
 }
 
 // RecentList is the mutex-protected list of recently committed
@@ -53,6 +64,11 @@ func (r *RecentList) Validate(t *TxnState) uint64 {
 	}
 	for _, rec := range r.recs[lo:] {
 		for _, e := range rec.Writes {
+			if t.conflictsWith(e) {
+				return rec.TS
+			}
+		}
+		for _, e := range rec.VisWrites {
 			if t.conflictsWith(e) {
 				return rec.TS
 			}

@@ -26,6 +26,25 @@ type ColumnID struct {
 	Col   int
 }
 
+// VisCol is the pseudo column index of a table's row-visibility
+// (birth/death) arrays. Inserts and deletes route through the commit
+// shard this pseudo column hashes to — the table's "owning" shard —
+// which serialises all visibility mutations of a table on one lock and
+// keeps their WAL records in one timestamp-ordered segment series.
+const VisCol = -1
+
+// VisColumnID returns the visibility pseudo-column of table.
+func VisColumnID(table int) ColumnID { return ColumnID{Table: table, Col: VisCol} }
+
+// RowOp is one staged row birth or death: an Insert (Del false) stamps
+// the row's birth timestamp at commit, a Delete (Del true) its death
+// timestamp.
+type RowOp struct {
+	Table int
+	Row   int
+	Del   bool
+}
+
 // WriteEntry is one materialised write, recorded for validation.
 type WriteEntry struct {
 	Col      ColumnID
@@ -56,6 +75,10 @@ type TxnState struct {
 	writeOrder []writeRef
 	pointReads map[ColumnID]map[int]struct{}
 	preds      []Predicate
+
+	rowOps   []RowOp
+	inserted map[int]map[int]struct{} // table -> staged-insert rows
+	deleted  map[int]map[int]struct{} // table -> staged-delete rows
 }
 
 type writeRef struct {
@@ -127,6 +150,71 @@ func (t *TxnState) NotePointRead(col ColumnID, row int) {
 // NotePredicate records a filtered range for precision locking.
 func (t *TxnState) NotePredicate(p Predicate) { t.preds = append(t.preds, p) }
 
+// StageInsert records that the transaction births row of table at
+// commit. The caller has exclusively reserved the row slot, so no
+// point read is needed: concurrent transactions cannot address it.
+func (t *TxnState) StageInsert(table, row int) {
+	t.rowOps = append(t.rowOps, RowOp{Table: table, Row: row})
+	if t.inserted == nil {
+		t.inserted = map[int]map[int]struct{}{}
+	}
+	m := t.inserted[table]
+	if m == nil {
+		m = map[int]struct{}{}
+		t.inserted[table] = m
+	}
+	m[row] = struct{}{}
+}
+
+// StageDelete records that the transaction kills row of table at
+// commit. The deletion reads the row's liveness, so a point read on the
+// visibility pseudo column is recorded: a concurrent commit that births
+// or kills the same row invalidates this transaction.
+func (t *TxnState) StageDelete(table, row int) {
+	t.rowOps = append(t.rowOps, RowOp{Table: table, Row: row, Del: true})
+	t.NotePointRead(VisColumnID(table), row)
+	if t.deleted == nil {
+		t.deleted = map[int]map[int]struct{}{}
+	}
+	m := t.deleted[table]
+	if m == nil {
+		m = map[int]struct{}{}
+		t.deleted[table] = m
+	}
+	m[row] = struct{}{}
+}
+
+// RowInserted reports whether the transaction staged an insert of
+// (table, row).
+func (t *TxnState) RowInserted(table, row int) bool {
+	_, ok := t.inserted[table][row]
+	return ok
+}
+
+// RowDeleted reports whether the transaction staged a delete of
+// (table, row).
+func (t *TxnState) RowDeleted(table, row int) bool {
+	_, ok := t.deleted[table][row]
+	return ok
+}
+
+// HasRowOps reports whether any insert or delete was staged.
+func (t *TxnState) HasRowOps() bool { return len(t.rowOps) > 0 }
+
+// HasRowOpsFor reports whether any insert or delete was staged against
+// table — the facade's read paths use it to keep the unmutated-table
+// fast path for tables this transaction never touched.
+func (t *TxnState) HasRowOpsFor(table int) bool {
+	return len(t.inserted[table]) > 0 || len(t.deleted[table]) > 0
+}
+
+// EachRowOp visits the staged row operations in stage order.
+func (t *TxnState) EachRowOp(fn func(op RowOp)) {
+	for _, op := range t.rowOps {
+		fn(op)
+	}
+}
+
 // HasReads reports whether the transaction recorded any point read or
 // predicate. A transaction with an empty read set cannot be
 // invalidated by concurrent commits — its blind writes serialize at
@@ -161,6 +249,9 @@ func (t *TxnState) EachColumn(fn func(col ColumnID)) {
 	}
 	for _, p := range t.preds {
 		visit(p.Col)
+	}
+	for _, op := range t.rowOps {
+		visit(VisColumnID(op.Table))
 	}
 }
 

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ankerdb/internal/phys"
+	"ankerdb/internal/vmem"
+)
+
+// NeverTS is the birth-timestamp sentinel of a row slot that has never
+// been inserted (or whose dead incarnation was reclaimed into the free
+// list): no transaction timestamp can ever reach it, so the slot is
+// invisible at every snapshot.
+const NeverTS = ^uint64(0)
+
+// Extent is a growable column array: a sequence of equally sized,
+// individually mapped chunks of 64-bit words. Chunks are page-aligned
+// power-of-two row counts and NEVER move or unmap once published, which
+// is what keeps every previously created snapshot's mapped source
+// regions valid across capacity growth under all four snapshot
+// strategies — growing maps new regions instead of remapping old ones.
+//
+// Readers address rows lock-free through an atomically published chunk
+// slice; Grow (serialised by the owning table) appends a chunk and
+// republishes. A reader therefore sees a consistent prefix: rows below
+// the capacity it observed are always backed.
+type Extent struct {
+	name      string
+	alloc     ColumnAlloc
+	chunkRows int
+	shift     uint // log2(chunkRows)
+	mask      int  // chunkRows - 1
+	chunks    atomic.Pointer[[]WordArray]
+}
+
+// NewExtent returns an extent of one chunk. chunkRows must be a power
+// of two and a multiple of the process page words (ChunkRowsFor).
+func NewExtent(name string, chunkRows int, alloc ColumnAlloc) (*Extent, error) {
+	if chunkRows <= 0 || chunkRows&(chunkRows-1) != 0 {
+		return nil, fmt.Errorf("storage: extent %q: chunk rows %d not a power of two", name, chunkRows)
+	}
+	e := &Extent{name: name, alloc: alloc, chunkRows: chunkRows, mask: chunkRows - 1}
+	for 1<<e.shift < chunkRows {
+		e.shift++
+	}
+	empty := []WordArray{}
+	e.chunks.Store(&empty)
+	return e, e.Grow()
+}
+
+// ChunkRowsFor returns the chunk granularity for a table of rows
+// initial rows in proc: the smallest power of two that covers the
+// initial rows and is a whole number of pages, so chunk regions are
+// page-aligned and chunk page lists concatenate seamlessly into one
+// PageCache.
+func ChunkRowsFor(proc *vmem.Process, rows int) int {
+	n := int(proc.PageWords())
+	for n < rows {
+		n <<= 1
+	}
+	return n
+}
+
+// ChunkRows returns the rows per chunk.
+func (e *Extent) ChunkRows() int { return e.chunkRows }
+
+// Chunks returns the number of mapped chunks.
+func (e *Extent) Chunks() int { return len(*e.chunks.Load()) }
+
+// Rows returns the current capacity in rows.
+func (e *Extent) Rows() int { return e.Chunks() * e.chunkRows }
+
+// Grow maps and appends one chunk. The caller must serialise Grow
+// calls (the owning table's growth lock); readers need no coordination.
+func (e *Extent) Grow() error {
+	cur := *e.chunks.Load()
+	w, err := e.alloc(fmt.Sprintf("%s#%d", e.name, len(cur)), e.chunkRows)
+	if err != nil {
+		return fmt.Errorf("storage: extent %q: grow: %w", e.name, err)
+	}
+	next := make([]WordArray, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, w)
+	e.chunks.Store(&next)
+	return nil
+}
+
+// chunk returns the chunk backing row.
+func (e *Extent) chunk(row int) WordArray { return (*e.chunks.Load())[row>>e.shift] }
+
+// Get loads the word at row (atomic, torn-free).
+func (e *Extent) Get(row int) int64 { return e.chunk(row).Get(row & e.mask) }
+
+// Set stores the word at row.
+func (e *Extent) Set(row int, v int64) { e.chunk(row).Set(row&e.mask, v) }
+
+// GetU / SetU are the unsigned variants used for timestamps.
+func (e *Extent) GetU(row int) uint64    { return e.chunk(row).GetU(row & e.mask) }
+func (e *Extent) SetU(row int, v uint64) { e.chunk(row).SetU(row&e.mask, v) }
+
+// Fill bulk-stores vals starting at row 0, chunk by chunk.
+func (e *Extent) Fill(vals []int64) {
+	for start := 0; start < len(vals); start += e.chunkRows {
+		end := start + e.chunkRows
+		if end > len(vals) {
+			end = len(vals)
+		}
+		e.chunk(start).Fill(vals[start:end])
+	}
+}
+
+// FillWindow bulk-stores a window of raw words starting at row start,
+// splitting the window at chunk boundaries — the in-place consumer side
+// of checkpoint recovery (ReadWordsRegion).
+func (e *Extent) FillWindow(start int, words []uint64) {
+	for len(words) > 0 {
+		in := start & e.mask
+		n := e.chunkRows - in
+		if n > len(words) {
+			n = len(words)
+		}
+		e.chunk(start).FillWindow(in, words[:n])
+		start += n
+		words = words[n:]
+	}
+}
+
+// FillU stores v into rows [start, start+n), page-wise.
+func (e *Extent) FillU(start, n int, v uint64) {
+	buf := make([]uint64, serializeChunk)
+	for i := range buf {
+		buf[i] = v
+	}
+	for n > 0 {
+		k := len(buf)
+		if k > n {
+			k = n
+		}
+		e.FillWindow(start, buf[:k])
+		start += k
+		n -= k
+	}
+}
+
+// Regions returns the mapped range of every chunk, in row order. The
+// prefix of the returned slice is stable across growth (chunks are
+// append-only), so callers may slice it to a previously observed
+// capacity and snapshot a consistent prefix.
+func (e *Extent) Regions() []Region {
+	chunks := *e.chunks.Load()
+	out := make([]Region, len(chunks))
+	for i, w := range chunks {
+		out[i] = w.Region()
+	}
+	return out
+}
+
+// ResolveRegions builds one PageCache over a sequence of equally sized,
+// page-aligned snapshot regions holding rows words in row order — the
+// reader-side view of a snapshotted chunked extent. Because chunks are
+// whole pages, the per-chunk page lists concatenate into a single
+// page-indexed cache and readers keep the exact tight-loop access path
+// of contiguous columns.
+func ResolveRegions(proc *vmem.Process, regions []Region, rows int) *PageCache {
+	ps := proc.PageSize()
+	var pages []*phys.Page
+	for _, r := range regions {
+		pages = append(pages, proc.ResolvePages(r.Addr, int(r.Len/ps))...)
+	}
+	return &PageCache{
+		pages: pages,
+		shift: wordShift(int(proc.PageWords())),
+		mask:  int(proc.PageWords()) - 1,
+		rows:  rows,
+	}
+}

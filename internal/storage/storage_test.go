@@ -367,3 +367,109 @@ func TestDictLoad(t *testing.T) {
 		t.Fatal("Encode after Load did not continue from loaded length")
 	}
 }
+
+func TestExtentGrowAndFill(t *testing.T) {
+	p := newProc()
+	e, err := NewExtent("x", int(p.PageWords()), DefaultColumnAlloc(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := e.Rows()
+	if one != int(p.PageWords()) {
+		t.Fatalf("initial rows = %d, want %d", one, p.PageWords())
+	}
+	if err := e.Grow(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 2*one || e.Chunks() != 2 {
+		t.Fatalf("after grow: rows=%d chunks=%d", e.Rows(), e.Chunks())
+	}
+	// Writes across the chunk boundary round-trip.
+	for _, row := range []int{0, one - 1, one, 2*one - 1} {
+		e.Set(row, int64(3*row+1))
+	}
+	for _, row := range []int{0, one - 1, one, 2*one - 1} {
+		if got := e.Get(row); got != int64(3*row+1) {
+			t.Fatalf("row %d = %d, want %d", row, got, 3*row+1)
+		}
+	}
+	// FillWindow spanning the boundary.
+	words := make([]uint64, 10)
+	for i := range words {
+		words[i] = uint64(100 + i)
+	}
+	e.FillWindow(one-5, words)
+	for i := range words {
+		if got := e.GetU(one - 5 + i); got != uint64(100+i) {
+			t.Fatalf("window row %d = %d", one-5+i, got)
+		}
+	}
+	// FillU covers a cross-boundary range.
+	e.FillU(one-3, 6, NeverTS)
+	for i := 0; i < 6; i++ {
+		if got := e.GetU(one - 3 + i); got != NeverTS {
+			t.Fatalf("FillU row %d = %#x", one-3+i, got)
+		}
+	}
+	if got := len(e.Regions()); got != 2 {
+		t.Fatalf("regions = %d, want 2", got)
+	}
+}
+
+func TestExtentRejectsBadChunkRows(t *testing.T) {
+	p := newProc()
+	if _, err := NewExtent("x", 3, DefaultColumnAlloc(p)); err == nil {
+		t.Fatal("non-power-of-two chunk rows accepted")
+	}
+}
+
+func TestTableGrowth(t *testing.T) {
+	p := newProc()
+	schema := Schema{Table: "g", Columns: []ColumnDef{{"a", Int64}, {"b", Varchar}}}
+	tab, err := NewTable(p, schema, 100, DefaultColumnAlloc(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.InitialRows() != 100 {
+		t.Fatalf("InitialRows = %d", tab.InitialRows())
+	}
+	chunk := tab.ChunkRows()
+	if chunk < 100 || chunk&(chunk-1) != 0 {
+		t.Fatalf("chunk rows = %d", chunk)
+	}
+	if tab.Capacity() != chunk {
+		t.Fatalf("capacity = %d, want %d", tab.Capacity(), chunk)
+	}
+	// Initial rows are born at time zero, the chunk tail is unborn.
+	if got := tab.Birth().GetU(99); got != 0 {
+		t.Fatalf("birth[99] = %#x, want 0", got)
+	}
+	if got := tab.Birth().GetU(100); got != NeverTS {
+		t.Fatalf("birth[100] = %#x, want NeverTS", got)
+	}
+	if err := tab.EnsureCapacity(chunk + 1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Capacity() != 2*chunk {
+		t.Fatalf("capacity after grow = %d, want %d", tab.Capacity(), 2*chunk)
+	}
+	if got := tab.Birth().GetU(chunk); got != NeverTS {
+		t.Fatalf("new chunk birth = %#x, want NeverTS", got)
+	}
+	data, wts := tab.ColumnRegions(0, 2)
+	if len(data) != 2 || len(wts) != 2 {
+		t.Fatalf("column regions = %d/%d, want 2/2", len(data), len(wts))
+	}
+	birth, death := tab.VisRegions(1)
+	if len(birth) != 1 || len(death) != 1 {
+		t.Fatalf("vis regions = %d/%d", len(birth), len(death))
+	}
+	// A concatenated PageCache over both chunks reads across the seam.
+	tab.Data(0).Set(chunk-1, 7)
+	tab.Data(0).Set(chunk, 8)
+	regs, _ := tab.ColumnRegions(0, 2)
+	pc := ResolveRegions(p, regs, tab.Capacity())
+	if pc.Get(chunk-1) != 7 || pc.Get(chunk) != 8 {
+		t.Fatalf("page cache seam read: %d/%d", pc.Get(chunk-1), pc.Get(chunk))
+	}
+}

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ankerdb/internal/phys"
 	"ankerdb/internal/vmem"
@@ -74,60 +76,153 @@ func ShardOf(table, col, n int) int {
 	return int(h % uint64(n))
 }
 
-// Table is a fixed-capacity columnar table: per schema column one data
-// array and one parallel write-timestamp array (the per-row commit
-// timestamps MVCC visibility checks read), both individually
-// snapshottable. VARCHAR values share one table-wide dictionary.
+// Table is a growable columnar table: per schema column one data
+// extent and one parallel write-timestamp extent (the per-row commit
+// timestamps MVCC visibility checks read), plus the table-wide
+// birth/death visibility extents that make rows transactional — a row
+// is visible at timestamp ts iff birth <= ts and (death == 0 or
+// death > ts). All extents are individually snapshottable chunk lists.
+// VARCHAR values share one table-wide dictionary.
+//
+// Capacity grows in whole chunks (EnsureCapacity); the initial rows
+// passed to NewTable are born at time zero (birth 0) and every slot
+// above them starts at NeverTS, invisible until an insert commits into
+// it.
 type Table struct {
-	schema Schema
-	rows   int
-	dict   *Dict
-	data   []WordArray
-	wts    []WordArray
+	schema      Schema
+	initialRows int
+	chunkRows   int
+	dict        *Dict
+	data        []*Extent
+	wts         []*Extent
+	birth       *Extent
+	death       *Extent
+
+	mu       sync.Mutex // serialises growth
+	capacity atomic.Int64
 }
 
-// NewTable allocates a table of the given fixed row capacity, drawing
-// every column array from alloc.
-func NewTable(schema Schema, rows int, alloc ColumnAlloc) (*Table, error) {
+// NewTable allocates a table with the given initial visible row count
+// in proc, drawing every column array from alloc. The first chunk
+// rounds the initial rows up to a page-aligned power of two; rows
+// beyond the initial count exist physically but are unborn (birth
+// NeverTS).
+func NewTable(proc *vmem.Process, schema Schema, rows int, alloc ColumnAlloc) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
 	if rows <= 0 {
 		return nil, fmt.Errorf("storage: table %q: non-positive row capacity %d", schema.Table, rows)
 	}
-	t := &Table{schema: schema, rows: rows, dict: NewDict()}
-	for _, c := range schema.Columns {
-		d, err := alloc(schema.Table+"."+c.Name, rows)
+	t := &Table{schema: schema, initialRows: rows, dict: NewDict()}
+	newExt := func(name string, chunkRows int) (*Extent, error) {
+		e, err := NewExtent(schema.Table+"."+name, chunkRows, alloc)
 		if err != nil {
-			return nil, fmt.Errorf("storage: table %q column %q: %w", schema.Table, c.Name, err)
+			return nil, fmt.Errorf("storage: table %q: %w", schema.Table, err)
 		}
-		w, err := alloc(schema.Table+"."+c.Name+".wts", rows)
+		return e, nil
+	}
+	chunkRows := ChunkRowsFor(proc, rows)
+	t.chunkRows = chunkRows
+	for _, c := range schema.Columns {
+		d, err := newExt(c.Name, chunkRows)
 		if err != nil {
-			return nil, fmt.Errorf("storage: table %q column %q wts: %w", schema.Table, c.Name, err)
+			return nil, err
+		}
+		w, err := newExt(c.Name+".wts", chunkRows)
+		if err != nil {
+			return nil, err
 		}
 		t.data = append(t.data, d)
 		t.wts = append(t.wts, w)
 	}
+	var err error
+	if t.birth, err = newExt("#birth", chunkRows); err != nil {
+		return nil, err
+	}
+	if t.death, err = newExt("#death", chunkRows); err != nil {
+		return nil, err
+	}
+	// Rows at table birth are the time-zero state (birth 0, the
+	// extent's zero fill); the chunk's tail starts unborn.
+	t.birth.FillU(rows, chunkRows-rows, NeverTS)
+	t.capacity.Store(int64(chunkRows))
 	return t, nil
 }
 
 // Schema returns the table layout.
 func (t *Table) Schema() Schema { return t.schema }
 
-// Rows returns the fixed row capacity.
-func (t *Table) Rows() int { return t.rows }
+// InitialRows returns the visible row count the table was created with.
+func (t *Table) InitialRows() int { return t.initialRows }
+
+// ChunkRows returns the capacity-growth granularity in rows.
+func (t *Table) ChunkRows() int { return t.chunkRows }
+
+// Capacity returns the current mapped row capacity (a multiple of
+// ChunkRows). It is published only after every extent covers it, so a
+// reader that observed a capacity can address every row below it in
+// every extent.
+func (t *Table) Capacity() int { return int(t.capacity.Load()) }
+
+// EnsureCapacity grows the table until at least n rows are mapped,
+// appending page-aligned chunks to every extent (data, write
+// timestamps, birth, death). Existing chunks are never remapped, so
+// mapped regions a snapshot captured earlier stay valid under all four
+// snapshot strategies. New birth rows start at NeverTS (unborn).
+func (t *Table) EnsureCapacity(n int) error {
+	if n <= t.Capacity() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.Capacity() < n {
+		for _, e := range t.data {
+			if err := e.Grow(); err != nil {
+				return err
+			}
+		}
+		for _, e := range t.wts {
+			if err := e.Grow(); err != nil {
+				return err
+			}
+		}
+		if err := t.birth.Grow(); err != nil {
+			return err
+		}
+		if err := t.death.Grow(); err != nil {
+			return err
+		}
+		t.birth.FillU(t.birth.Rows()-t.chunkRows, t.chunkRows, NeverTS)
+		t.capacity.Store(int64(t.birth.Rows()))
+	}
+	return nil
+}
 
 // Dict returns the table-wide VARCHAR dictionary.
 func (t *Table) Dict() *Dict { return t.dict }
 
-// Data returns the data array of column col.
-func (t *Table) Data(col int) WordArray { return t.data[col] }
+// Data returns the data extent of column col.
+func (t *Table) Data(col int) *Extent { return t.data[col] }
 
-// WTS returns the write-timestamp array of column col.
-func (t *Table) WTS(col int) WordArray { return t.wts[col] }
+// WTS returns the write-timestamp extent of column col.
+func (t *Table) WTS(col int) *Extent { return t.wts[col] }
 
-// ColumnRegions returns the mapped ranges of column col's data and
-// write-timestamp arrays — the unit of fine-granular snapshotting.
-func (t *Table) ColumnRegions(col int) (data, wts Region) {
-	return t.data[col].Region(), t.wts[col].Region()
+// Birth returns the per-row birth-timestamp extent.
+func (t *Table) Birth() *Extent { return t.birth }
+
+// Death returns the per-row death-timestamp extent.
+func (t *Table) Death() *Extent { return t.death }
+
+// ColumnRegions returns the mapped chunk ranges of column col's data
+// and write-timestamp extents covering the first chunks chunks — the
+// unit of fine-granular snapshotting at an observed capacity.
+func (t *Table) ColumnRegions(col, chunks int) (data, wts []Region) {
+	return t.data[col].Regions()[:chunks], t.wts[col].Regions()[:chunks]
+}
+
+// VisRegions returns the mapped chunk ranges of the birth and death
+// extents covering the first chunks chunks.
+func (t *Table) VisRegions(chunks int) (birth, death []Region) {
+	return t.birth.Regions()[:chunks], t.death.Regions()[:chunks]
 }

@@ -14,13 +14,16 @@ import (
 
 // Checkpoint file layout (all integers little-endian):
 //
-//	"ANKCKPT1"                    8-byte magic
+//	"ANKCKPT2"                    8-byte magic
 //	ts u64                        checkpoint timestamp (snapshot
 //	                              generation timestamp)
 //	ntables u32
 //	per table:
 //	  name (u32 len + bytes), rows u64, ncols u32
 //	  per column: rows raw u64 data words, rows raw u64 wts words
+//	  rows raw u64 birth words, rows raw u64 death words (the
+//	  visibility arrays of growable tables; rows is the table's
+//	  captured capacity, which may exceed its created size)
 //	  dict: u32 count, then count strings (u32 len + bytes)
 //	crc u32                       CRC32 of everything above
 //	"ANKCKPTE"                    8-byte trailer magic
@@ -38,7 +41,7 @@ import (
 // incomplete.
 
 var (
-	ckptMagic   = []byte("ANKCKPT1")
+	ckptMagic   = []byte("ANKCKPT2")
 	ckptTrailer = []byte("ANKCKPTE")
 )
 

@@ -20,22 +20,37 @@ type RedoWrite struct {
 	HasStr bool
 }
 
+// RowOp is one durable row birth or death: an insert (Del false)
+// stamps the row's birth timestamp with the record's commit timestamp
+// at replay, a delete (Del true) its death timestamp.
+type RowOp struct {
+	Table int
+	Row   int
+	Del   bool
+}
+
 // CommitRecord is the redo record of one committed transaction: its
-// commit timestamp and every write it materialised. Replay is
-// idempotent by commit timestamp — a write is re-applied only when its
-// record's timestamp is newer than the row's current write timestamp —
-// so records may be replayed in any order and any number of times.
+// commit timestamp, every write it materialised and every row it
+// birthed or killed (Ops, present only in row-op records — kind 3).
+// Replay is idempotent by commit timestamp: a write is re-applied only
+// when its record's timestamp is newer than the row's current write
+// timestamp, and recovery buffers row ops and applies them in
+// timestamp order per row — so records may be replayed in any order
+// and any number of times.
 type CommitRecord struct {
 	TS     uint64
 	Writes []RedoWrite
+	Ops    []RowOp
 }
 
 // WAL-segment record kinds: the first payload byte of every framed
 // record in a shard segment. The schema log holds only table records
-// and carries no kind byte.
+// and carries no kind byte. Kind 3 (ANKWSEG3) extends commit records
+// with row ops; commits without row ops keep the kind-1 form.
 const (
-	recKindCommit uint8 = 1
-	recKindLoad   uint8 = 2
+	recKindCommit    uint8 = 1
+	recKindLoad      uint8 = 2
+	recKindRowCommit uint8 = 3
 )
 
 // LoadRecord is one chunk of a durable bulk load (DB.Load/LoadStrings):
@@ -160,11 +175,28 @@ func (d *decoder) str() string {
 }
 
 // encode serialises the commit record payload (framing is the
-// caller's).
+// caller's). Records with row ops take the kind-3 layout — timestamp,
+// ops, writes — so one frame carries the whole transaction and a torn
+// tail can never split a commit's ops from its writes.
 func (r CommitRecord) encode(dst []byte) []byte {
 	e := encoder{b: dst}
-	e.u8(recKindCommit)
-	e.u64(r.TS)
+	if len(r.Ops) > 0 {
+		e.u8(recKindRowCommit)
+		e.u64(r.TS)
+		e.u32(uint32(len(r.Ops)))
+		for _, op := range r.Ops {
+			e.u32(uint32(op.Table))
+			e.u32(uint32(op.Row))
+			if op.Del {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		}
+	} else {
+		e.u8(recKindCommit)
+		e.u64(r.TS)
+	}
 	e.u32(uint32(len(r.Writes)))
 	for _, w := range r.Writes {
 		e.u32(uint32(w.Table))
@@ -183,10 +215,22 @@ func (r CommitRecord) encode(dst []byte) []byte {
 
 func decodeCommit(payload []byte) (CommitRecord, error) {
 	d := decoder{b: payload}
-	if kind := d.u8(); d.err == nil && kind != recKindCommit {
-		return CommitRecord{}, fmt.Errorf("wal: record kind %d, want commit (%d)", kind, recKindCommit)
+	kind := d.u8()
+	if d.err == nil && kind != recKindCommit && kind != recKindRowCommit {
+		return CommitRecord{}, fmt.Errorf("wal: record kind %d, want commit (%d or %d)", kind, recKindCommit, recKindRowCommit)
 	}
 	rec := CommitRecord{TS: d.u64()}
+	if kind == recKindRowCommit {
+		nops := d.u32()
+		if d.err == nil && uint64(nops) > uint64(len(payload)) {
+			return rec, fmt.Errorf("wal: commit record claims %d row ops in %d bytes", nops, len(payload))
+		}
+		for i := 0; i < int(nops); i++ {
+			op := RowOp{Table: int(d.u32()), Row: int(d.u32())}
+			op.Del = d.u8() != 0
+			rec.Ops = append(rec.Ops, op)
+		}
+	}
 	n := d.u32()
 	if d.err == nil && uint64(n) > uint64(len(payload)) {
 		// A write takes at least one payload byte; more writes than

@@ -355,10 +355,11 @@ const replayBufSize = 1 << 16
 // segMagic is the versioned header every shard segment starts with.
 // Replay refuses a segment whose header does not match — a clear
 // "unsupported format" failure instead of misparsing records when the
-// record encoding changes (the kind-byte revision bumped this to 2).
-// A missing or short header is a segment created but torn before its
-// first write and simply holds no records.
-var segMagic = []byte("ANKWSEG2")
+// record encoding changes (the kind-byte revision bumped this to 2,
+// the row-op commit record kind to 3). A missing or short header is a
+// segment created but torn before its first write and simply holds no
+// records.
+var segMagic = []byte("ANKWSEG3")
 
 // frameScanner streams length+CRC framed records out of a reader,
 // reusing one payload buffer. It stops (ok=false) at a clean EOF and
@@ -479,7 +480,7 @@ func (l *Log) ReplayCommits(onLoad func(LoadRecord) error, onCommit func(CommitR
 					return fmt.Errorf("wal: segment %s: %w", sg.path, err)
 				}
 				return onLoad(rec)
-			case recKindCommit:
+			case recKindCommit, recKindRowCommit:
 				rec, err := decodeCommit(payload)
 				if err != nil {
 					return fmt.Errorf("wal: segment %s: %w", sg.path, err)

@@ -38,6 +38,45 @@ func TestCommitRecordRoundtrip(t *testing.T) {
 	}
 }
 
+func TestRowOpCommitRecordRoundtrip(t *testing.T) {
+	// Row ops force the kind-3 layout; the payload must lead with the
+	// row-op kind byte and survive the round trip ops-and-writes alike.
+	rec := CommitRecord{
+		TS: 42,
+		Writes: []RedoWrite{
+			{Table: 0, Col: 1, Row: 7, Val: 99},
+			{Table: 0, Col: 2, Row: 7, Val: -1, Str: "name", HasStr: true},
+		},
+		Ops: []RowOp{
+			{Table: 0, Row: 7},            // insert
+			{Table: 1, Row: 3, Del: true}, // delete
+		},
+	}
+	payload := rec.encode(nil)
+	if payload[0] != recKindRowCommit {
+		t.Fatalf("kind byte = %d, want %d", payload[0], recKindRowCommit)
+	}
+	got, err := decodeCommit(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, rec)
+	}
+	// A delete-only record (no writes) is legal.
+	delOnly := CommitRecord{TS: 43, Ops: []RowOp{{Table: 0, Row: 1, Del: true}}}
+	got, err = decodeCommit(delOnly.encode(nil))
+	if err != nil || !reflect.DeepEqual(got, delOnly) {
+		t.Fatalf("delete-only roundtrip: %+v, %v", got, err)
+	}
+	// Truncated kind-3 payloads fail loudly at every cut.
+	for cut := 1; cut < len(payload); cut += 5 {
+		if _, err := decodeCommit(payload[:cut]); err == nil {
+			t.Fatalf("truncated row-op record at %d accepted", cut)
+		}
+	}
+}
+
 func TestLoadRecordRoundtrip(t *testing.T) {
 	for _, rec := range []LoadRecord{
 		{Table: 2, Col: 1, Start: 4096, Vals: []int64{1, -2, 3}},

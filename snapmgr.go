@@ -42,7 +42,9 @@ type snapManager struct {
 
 // generation is one snapshot epoch: a timestamp (set when the first
 // OLAP transaction pins it) plus the lazily created per-column
-// snapshots all OLAP transactions in the epoch share.
+// snapshots all OLAP transactions in the epoch share. Visibility
+// (birth/death) array snapshots are cached in the same map under the
+// table's visibility pseudo-column ID.
 type generation struct {
 	mgr  *snapManager
 	born time.Time
@@ -56,11 +58,34 @@ type generation struct {
 
 // colSnap is one column's snapshot inside a generation: resolved page
 // caches over the snapshotted data and write-timestamp arrays, readable
-// without the address-space lock.
+// without the address-space lock. For a visibility pseudo-column the
+// caches hold the birth (data) and death (wts) arrays instead.
 type colSnap struct {
 	snap snapshot.Snap
 	data *storage.PageCache
 	wts  *storage.PageCache
+}
+
+// rows returns the captured capacity: rows at or above it were born
+// after the capture and are invisible at the generation.
+func (cs *colSnap) rows() int { return cs.data.Rows() }
+
+// visibleAt reports whether row is visible at ts in a captured
+// visibility snapshot (data = birth, wts = death). Rows beyond the
+// captured capacity were born after the capture and are invisible.
+// Captured timestamps from commits newer than ts — including a capture
+// racing a later install — compare above ts and yield the same verdict
+// a pre-install capture would, so capture timing never changes
+// visibility at ts.
+func (cs *colSnap) visibleAt(row int, ts uint64) bool {
+	if row >= cs.rows() {
+		return false
+	}
+	if b := cs.data.GetU(row); b > ts {
+		return false // unborn (NeverTS) or born after ts
+	}
+	d := cs.wts.GetU(row)
+	return d == 0 || d > ts
 }
 
 func newSnapManager(db *DB, refreshEvery uint64, maxAge time.Duration) *snapManager {
@@ -221,18 +246,47 @@ func (m *snapManager) close() {
 // row the snapshot holds with a write timestamp above the generation's
 // timestamp is repaired from the version chains at read time — so
 // out-of-order per-shard completion never leaks a torn or
-// future-stamped value into an OLAP read.
+// future-stamped value into an OLAP read. The capture covers the
+// chunks below the table capacity published at capture time; rows in
+// chunks mapped later were necessarily born after the generation's
+// timestamp and are invisible to it anyway.
 func (g *generation) colSnap(c *column) (*colSnap, error) {
+	chunks := c.tab.st.Capacity() / c.tab.st.ChunkRows()
+	dataRegs, wtsRegs := c.tab.st.ColumnRegions(c.id.Col, chunks)
+	return g.capture(c.id, dataRegs, wtsRegs)
+}
+
+// visSnap returns the generation's snapshot of t's visibility arrays
+// (birth as data, death as wts), captured under the table's owning
+// (visibility pseudo-column) shard lock exactly like a data column —
+// so a capture can never observe a half-installed row op.
+func (g *generation) visSnap(t *table) (*colSnap, error) {
+	chunks := t.st.Capacity() / t.st.ChunkRows()
+	birthRegs, deathRegs := t.st.VisRegions(chunks)
+	return g.capture(mvcc.VisColumnID(t.idx), birthRegs, deathRegs)
+}
+
+// capture snapshots the two region sets of a (pseudo-)column under its
+// shard commit lock and caches the resolved page views in the
+// generation.
+func (g *generation) capture(id mvcc.ColumnID, primary, secondary []storage.Region) (*colSnap, error) {
 	g.colMu.Lock()
 	defer g.colMu.Unlock()
-	if cs, ok := g.cols[c.id]; ok {
+	if cs, ok := g.cols[id]; ok {
 		return cs, nil
 	}
+	regs := make([]snapshot.Region, 0, len(primary)+len(secondary))
+	for _, r := range primary {
+		regs = append(regs, snapshot.Region{Addr: r.Addr, Len: r.Len})
+	}
+	for _, r := range secondary {
+		regs = append(regs, snapshot.Region{Addr: r.Addr, Len: r.Len})
+	}
 	m := g.mgr
-	shard := m.db.shards[m.db.shardOf(c.id)]
+	shard := m.db.shards[m.db.shardOf(id)]
 	shard.mu.Lock()
 	start := time.Now()
-	snap, err := m.db.strat.Snapshot(c.regions())
+	snap, err := m.db.strat.Snapshot(regs)
 	elapsed := time.Since(start)
 	shard.mu.Unlock()
 	if err != nil {
@@ -243,11 +297,21 @@ func (g *generation) colSnap(c *column) (*colSnap, error) {
 	m.lastNanos.Store(uint64(elapsed.Nanoseconds()))
 
 	reader := snap.Reader()
-	regs := snap.Regions()
-	data := storage.ViewWordArray(reader, regs[0].Addr, c.data.Rows())
-	wts := storage.ViewWordArray(reader, regs[1].Addr, c.wts.Rows())
-	cs := &colSnap{snap: snap, data: data.Resolve(), wts: wts.Resolve()}
-	g.cols[c.id] = cs
+	out := snap.Regions()
+	rows := len(primary) * m.db.chunkRowsOf(id.Table)
+	toStorage := func(rs []snapshot.Region) []storage.Region {
+		s := make([]storage.Region, len(rs))
+		for i, r := range rs {
+			s[i] = storage.Region{Addr: r.Addr, Len: r.Len}
+		}
+		return s
+	}
+	cs := &colSnap{
+		snap: snap,
+		data: storage.ResolveRegions(reader, toStorage(out[:len(primary)]), rows),
+		wts:  storage.ResolveRegions(reader, toStorage(out[len(primary):]), rows),
+	}
+	g.cols[id] = cs
 	return cs, nil
 }
 

@@ -68,6 +68,13 @@ type Stats struct {
 	Vacuums             uint64        // chain GC passes
 	RecentCommitRecords int           // retained validation records
 
+	// Growable tables (Txn.Insert / Txn.Delete).
+	RowInserts    uint64 // rows transactionally born (committed inserts)
+	RowDeletes    uint64 // rows transactionally killed (committed deletes)
+	RowsReclaimed uint64 // dead rows moved to free lists by Vacuum
+	RowsFree      int    // free-list slots currently awaiting reuse
+	TableCapacity int    // mapped row capacity summed over tables
+
 	// Simulated virtual memory subsystem (COW page copies, faults,
 	// VMA bookkeeping, vm_snapshot calls, ...).
 	VM          VMStats
@@ -130,6 +137,10 @@ func (db *DB) Stats() Stats {
 		VersionsGCed: db.st.versionsGCed.Load(),
 		Vacuums:      db.st.vacuums.Load(),
 
+		RowInserts:    db.st.rowInserts.Load(),
+		RowDeletes:    db.st.rowDeletes.Load(),
+		RowsReclaimed: db.st.rowsReclaimed.Load(),
+
 		VM:          db.proc.Stats(),
 		MappedBytes: db.proc.MappedBytes(),
 		NumVMAs:     db.proc.NumVMAs(),
@@ -162,11 +173,16 @@ func (db *DB) Stats() Stats {
 	m.mu.Unlock()
 
 	db.mu.RLock()
-	for _, t := range db.tabList {
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
 		for _, c := range t.cols {
 			s.VersionNodes += c.chain.Nodes()
 		}
+		s.TableCapacity += t.st.Capacity()
+		t.amu.Lock()
+		s.RowsFree += len(t.free)
+		t.amu.Unlock()
 	}
-	db.mu.RUnlock()
 	return s
 }

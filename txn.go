@@ -1,6 +1,7 @@
 package ankerdb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,10 +9,11 @@ import (
 )
 
 // Txn is one transaction. OLTP transactions stage writes locally (Set),
-// read their own writes (Get), and publish atomically at Commit after
-// precision-locking validation; Abort is free. OLAP transactions are
-// read-only and serve Scan/Filter/Aggregate from per-column virtual
-// snapshots pinned at Begin.
+// read their own writes (Get), insert and delete rows (Insert/Delete),
+// and publish atomically at Commit after precision-locking validation;
+// Abort is free. OLAP transactions are read-only and serve
+// Scan/Filter/Aggregate from per-column virtual snapshots pinned at
+// Begin.
 //
 // A Txn must not be used from multiple goroutines.
 type Txn struct {
@@ -21,6 +23,30 @@ type Txn struct {
 	state *mvcc.TxnState // OLTP
 	gen   *generation    // OLAP
 	done  bool
+
+	// reserved are row slots handed out by Insert, returned to their
+	// table's free list if the transaction aborts or fails validation
+	// (their birth timestamps are still NeverTS, so they were never
+	// visible to anyone).
+	reserved []reservedRow
+}
+
+type reservedRow struct {
+	tab *table
+	row int
+}
+
+// releaseReserved returns every reserved slot after an abort or a
+// failed commit.
+func (t *Txn) releaseReserved() {
+	byTab := map[*table][]int{}
+	for _, r := range t.reserved {
+		byTab[r.tab] = append(byTab[r.tab], r.row)
+	}
+	for tab, rows := range byTab {
+		tab.release(rows)
+	}
+	t.reserved = nil
 }
 
 // Class returns the transaction's class.
@@ -44,26 +70,85 @@ func (t *Txn) Staleness() uint64 {
 }
 
 // Get returns the value of (table, column, row) as of the transaction's
-// read timestamp. OLTP transactions see their own staged writes and
-// record the read for commit-time validation; OLAP transactions read
-// the pinned snapshot.
+// read timestamp. OLTP transactions see their own staged writes (and
+// staged inserts) and record the read for commit-time validation; OLAP
+// transactions read the pinned snapshot. Rows outside the visible row
+// set at the read timestamp — never inserted, born later, or deleted —
+// fail with ErrRowNotVisible.
 func (t *Txn) Get(tab, col string, row int) (int64, error) {
 	c, err := t.readable(tab, col, row)
 	if err != nil {
 		return 0, err
 	}
 	if t.class == OLAP {
+		visible, err := t.olapRowVisible(c.tab, row)
+		if err != nil {
+			return 0, err
+		}
+		if !visible {
+			return 0, &notVisibleError{tab: tab, col: col, row: row, ts: t.gen.ts}
+		}
 		cs, err := t.gen.colSnap(c)
 		if err != nil {
 			return 0, err
 		}
+		if row >= cs.rows() {
+			return 0, &notVisibleError{tab: tab, col: col, row: row, ts: t.gen.ts}
+		}
 		return t.gen.value(c, cs, row), nil
+	}
+	if !t.oltpRowVisible(c.tab, row) {
+		t.noteAbsence(c.tab, row)
+		return 0, &notVisibleError{tab: tab, col: col, row: row, ts: t.state.Begin}
 	}
 	if v, ok := t.state.StagedValue(c.id, row); ok {
 		return v, nil
 	}
 	t.state.NotePointRead(c.id, row)
 	return c.valueAt(row, t.state.Begin), nil
+}
+
+// noteAbsence records that the transaction observed row of tab as NOT
+// visible (an ErrRowNotVisible result is a read too): a point read on
+// the table's visibility pseudo column, which every commit that births
+// or kills the row marks in its validation record. Without it, a
+// transaction acting on the absence would skip validation entirely and
+// write-skew with a concurrent insert into the same slot.
+func (t *Txn) noteAbsence(tab *table, row int) {
+	t.state.NotePointRead(mvcc.VisColumnID(tab.idx), row)
+}
+
+// oltpRowVisible reports whether row is part of the transaction's
+// visible row set: staged inserts are visible to their own transaction,
+// staged deletes invisible, everything else resolves against the live
+// visibility arrays at the begin timestamp (with the unmutated-table
+// fast path skipping the array reads entirely).
+func (t *Txn) oltpRowVisible(tab *table, row int) bool {
+	if t.state.HasRowOpsFor(tab.idx) {
+		if t.state.RowDeleted(tab.idx, row) {
+			return false
+		}
+		if t.state.RowInserted(tab.idx, row) {
+			return true
+		}
+	}
+	if !tab.visMutated.Load() {
+		return row < tab.st.InitialRows()
+	}
+	return tab.liveVisible(row, t.state.Begin)
+}
+
+// olapRowVisible resolves row against the generation's visibility
+// snapshot (capturing it on first touch for mutated tables).
+func (t *Txn) olapRowVisible(tab *table, row int) (bool, error) {
+	if !tab.visMutated.Load() {
+		return row < tab.st.InitialRows(), nil
+	}
+	vs, err := t.gen.visSnap(tab)
+	if err != nil {
+		return false, err
+	}
+	return vs.visibleAt(row, t.gen.ts), nil
 }
 
 // GetString is Get for VARCHAR columns, decoding through the table
@@ -84,7 +169,9 @@ func (t *Txn) GetString(tab, col string, row int) (string, error) {
 }
 
 // Set stages a write of (table, column, row); nothing is visible to
-// other transactions until Commit.
+// other transactions until Commit. The row must be visible at the
+// transaction's read timestamp (or staged by its own Insert): updating
+// a deleted or unborn row fails with ErrRowNotVisible.
 func (t *Txn) Set(tab, col string, row int, v int64) error {
 	c, err := t.writable(tab, col, row)
 	if err != nil {
@@ -109,14 +196,122 @@ func (t *Txn) SetString(tab, col string, row int, s string) error {
 	return nil
 }
 
-// Scan returns the whole column as of the transaction's read timestamp.
+// Insert stages a new row of tab whose columns take the given values
+// (int64/int for numeric columns, string for VARCHAR; omitted columns
+// default to zero or the empty string) and returns the row index the
+// row will occupy. The slot is reserved exclusively — concurrent
+// inserts never collide — but the row is born only at Commit, stamped
+// with the commit timestamp: transactions (and snapshots) reading
+// below it never see the row, while the inserting transaction reads
+// its own staged values. The slot is a reclaimed free-list row when
+// one is available, otherwise the table grows by a mapped chunk.
+// Aborting (or failing validation) returns the slot to the free list.
+func (t *Txn) Insert(tab string, vals map[string]any) (int, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if t.class == OLAP {
+		return 0, ErrReadOnly
+	}
+	tb, err := t.db.lookupTable(tab)
+	if err != nil {
+		return 0, err
+	}
+	schema := tb.st.Schema()
+	staged := make([]int64, len(tb.cols))
+	set := make([]bool, len(tb.cols))
+	for name, v := range vals {
+		i := schema.ColumnIndex(name)
+		if i < 0 {
+			return 0, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tab, name)
+		}
+		c := tb.cols[i]
+		switch val := v.(type) {
+		case int64:
+			if c.def.Type == Varchar {
+				return 0, fmt.Errorf("%w: %s is VARCHAR, want string value", ErrType, name)
+			}
+			staged[i] = val
+		case int:
+			if c.def.Type == Varchar {
+				return 0, fmt.Errorf("%w: %s is VARCHAR, want string value", ErrType, name)
+			}
+			staged[i] = int64(val)
+		case string:
+			if c.def.Type != Varchar {
+				return 0, fmt.Errorf("%w: %s is %s, want numeric value", ErrType, name, c.def.Type)
+			}
+			staged[i] = c.dict.Encode(val)
+		default:
+			return 0, fmt.Errorf("%w: unsupported value type %T for %s.%s", ErrType, v, tab, name)
+		}
+		set[i] = true
+	}
+	for i, c := range tb.cols {
+		if !set[i] && c.def.Type == Varchar {
+			staged[i] = c.dict.Encode("") // codes must decode; 0 may not exist yet
+		}
+	}
+	row, err := tb.reserve()
+	if err != nil {
+		return 0, err
+	}
+	t.reserved = append(t.reserved, reservedRow{tab: tb, row: row})
+	for i, c := range tb.cols {
+		t.state.StageWrite(c.id, row, staged[i])
+	}
+	t.state.StageInsert(tb.idx, row)
+	return row, nil
+}
+
+// Delete stages the deletion of row of tab. The row must be visible at
+// the transaction's read timestamp; at Commit its death timestamp is
+// stamped with the commit timestamp, so concurrent and later snapshots
+// below it keep seeing the row. The deletion reads the whole row —
+// every column plus its liveness — so a concurrent commit that writes,
+// re-inserts or deletes the row aborts this transaction at validation.
+// Dead rows are reclaimed for reuse by Vacuum once no reader can see
+// them. A row inserted by this same transaction cannot be deleted by
+// it — abort the transaction instead.
+func (t *Txn) Delete(tab string, row int) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.class == OLAP {
+		return ErrReadOnly
+	}
+	tb, err := t.db.lookupTable(tab)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= tb.st.Capacity() {
+		return errRowRange(tab, "", row, tb.st.Capacity())
+	}
+	if t.state.RowInserted(tb.idx, row) {
+		return fmt.Errorf("%w: row %d of %q was inserted by this transaction", ErrRowNotVisible, row, tab)
+	}
+	if !t.oltpRowVisible(tb, row) {
+		t.noteAbsence(tb, row)
+		return &notVisibleError{tab: tab, row: row, ts: t.state.Begin}
+	}
+	for _, c := range tb.cols {
+		t.state.NotePointRead(c.id, row)
+	}
+	t.state.StageDelete(tb.idx, row)
+	return nil
+}
+
+// Scan returns the values of every row visible at the transaction's
+// read timestamp, in row order. For a table that never saw an Insert
+// or Delete this is the whole column, indexed by row; once rows are
+// born and die transactionally, deleted and unborn rows are omitted.
 func (t *Txn) Scan(tab, col string) ([]int64, error) {
 	c, err := t.readable(tab, col, 0)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, c.data.Rows())
-	err = t.scanColumn(c, func(row int, v int64) { out[row] = v })
+	out := make([]int64, 0, c.tab.st.InitialRows())
+	err = t.scanColumn(c, func(_ int, v int64) { out = append(out, v) })
 	return out, err
 }
 
@@ -152,8 +347,10 @@ const (
 	Count
 )
 
-// Aggregate folds the whole column as of the transaction's read
-// timestamp. Count returns the table's row capacity.
+// Aggregate folds the rows visible at the transaction's read timestamp.
+// Count returns the snapshot-consistent visible row count — every row
+// born at or before the read timestamp and not yet dead at it (plus
+// the transaction's own staged inserts, minus its staged deletes).
 func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
 	c, err := t.readable(tab, col, 0)
 	if err != nil {
@@ -162,7 +359,7 @@ func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
 	var acc int64
 	switch agg {
 	case Count:
-		return int64(c.data.Rows()), nil
+		return t.countVisible(c)
 	case Min:
 		acc = math.MaxInt64
 	case Max:
@@ -185,18 +382,65 @@ func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
 	return acc, err
 }
 
-// scanColumn drives fn over every row at the transaction's read
-// timestamp. OLAP scans run over the snapshot's resolved pages with the
-// block-granular version metadata keeping the common case a tight loop
-// (the HyPer-style optimisation of Section 5.5); OLTP scans read the
-// live column with the lock-free read protocol and record the scan as a
-// full-range predicate for validation.
+// countVisible counts the visible row set without touching column
+// data. OLTP transactions record the count as a full-range predicate —
+// a concurrent insert or delete changes the count and must invalidate
+// them; OLAP transactions resolve against the generation's visibility
+// snapshot.
+func (t *Txn) countVisible(c *column) (int64, error) {
+	tab := c.tab
+	if t.class == OLTP {
+		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
+		if !tab.visMutated.Load() && !t.state.HasRowOpsFor(tab.idx) {
+			return int64(tab.st.InitialRows()), nil
+		}
+		var n int64
+		for row, limit := 0, tab.st.Capacity(); row < limit; row++ {
+			if t.oltpRowVisible(tab, row) {
+				n++
+			}
+		}
+		return n, nil
+	}
+	if !tab.visMutated.Load() {
+		return int64(tab.st.InitialRows()), nil
+	}
+	vs, err := t.gen.visSnap(tab)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for row, limit := 0, vs.rows(); row < limit; row++ {
+		if vs.visibleAt(row, t.gen.ts) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// scanColumn drives fn over every visible row at the transaction's
+// read timestamp, in row order. OLAP scans run over the snapshot's
+// resolved pages with the block-granular version metadata keeping the
+// common case a tight loop (the HyPer-style optimisation of Section
+// 5.5); OLTP scans read the live column with the lock-free read
+// protocol and record the scan as a full-range predicate for
+// validation. Tables that never saw an Insert or Delete skip the
+// per-row visibility checks entirely and scan exactly their initial
+// rows — the pre-growable fast path.
 func (t *Txn) scanColumn(c *column, fn func(row int, v int64)) error {
-	rows := c.data.Rows()
+	tab := c.tab
 	if t.class == OLTP {
 		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
 		begin := t.state.Begin
-		for row := 0; row < rows; row++ {
+		fast := !tab.visMutated.Load() && !t.state.HasRowOpsFor(tab.idx)
+		limit := tab.st.InitialRows()
+		if !fast {
+			limit = tab.st.Capacity()
+		}
+		for row := 0; row < limit; row++ {
+			if !fast && !t.oltpRowVisible(tab, row) {
+				continue
+			}
 			if v, ok := t.state.StagedValue(c.id, row); ok {
 				fn(row, v)
 				continue
@@ -209,22 +453,72 @@ func (t *Txn) scanColumn(c *column, fn func(row int, v int64)) error {
 	if err != nil {
 		return err
 	}
-	for blk := 0; blk < c.meta.Blocks(); blk++ {
-		lo, hi := c.meta.BlockSpan(blk)
-		vlo, vhi, any := c.meta.Range(blk)
-		if !any {
-			// No row of this block was ever versioned: pure snapshot
-			// data, scanned page-wise without per-row checks.
-			for row := lo; row < hi; row++ {
+	rows := cs.rows()
+	var vs *colSnap
+	if tab.visMutated.Load() {
+		if vs, err = t.gen.visSnap(tab); err != nil {
+			return err
+		}
+		if vs.rows() < rows {
+			// The visibility capture predates the column capture by a
+			// chunk: rows beyond it were born after the generation's
+			// timestamp and are invisible to it.
+			rows = vs.rows()
+		}
+	} else if ir := tab.st.InitialRows(); ir < rows {
+		rows = ir
+	}
+	chunkRows := tab.st.ChunkRows()
+	metas := *c.metas.Load()
+	for ci := 0; ci*chunkRows < rows; ci++ {
+		base := ci * chunkRows
+		if ci >= len(metas) {
+			// Capacity can be published a beat before the scan metadata
+			// grows (reserve() orders it that way). A chunk without
+			// metadata cannot hold versioned rows yet — the first Note
+			// into it requires a commit that postdates the metadata —
+			// so its rows scan straight from the snapshot, visibility-
+			// filtered like any others.
+			for row := base; row < min(base+chunkRows, rows); row++ {
+				if vs != nil && !vs.visibleAt(row, t.gen.ts) {
+					continue
+				}
 				fn(row, cs.data.Get(row))
 			}
 			continue
 		}
-		for row := lo; row < hi; row++ {
-			if row >= vlo && row <= vhi {
-				fn(row, t.gen.value(c, cs, row))
-			} else {
-				fn(row, cs.data.Get(row))
+		meta := metas[ci]
+		for blk := 0; blk < meta.Blocks(); blk++ {
+			lo, hi := meta.BlockSpan(blk)
+			lo, hi = lo+base, hi+base
+			if lo >= rows {
+				break
+			}
+			if hi > rows {
+				hi = rows
+			}
+			vlo, vhi, any := meta.Range(blk)
+			vlo, vhi = vlo+base, vhi+base
+			if !any {
+				// No row of this block was ever versioned: pure snapshot
+				// data, scanned page-wise without per-row version checks.
+				for row := lo; row < hi; row++ {
+					if vs != nil && !vs.visibleAt(row, t.gen.ts) {
+						continue
+					}
+					fn(row, cs.data.Get(row))
+				}
+				continue
+			}
+			for row := lo; row < hi; row++ {
+				if vs != nil && !vs.visibleAt(row, t.gen.ts) {
+					continue
+				}
+				if row >= vlo && row <= vhi {
+					fn(row, t.gen.value(c, cs, row))
+				} else {
+					fn(row, cs.data.Get(row))
+				}
 			}
 		}
 	}
@@ -245,21 +539,30 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	defer t.db.activ.Unregister(t.id)
-	if !t.state.HasWrites() {
+	if !t.state.HasWrites() && !t.state.HasRowOps() {
 		// Read-only transactions read one consistent snapshot and need
 		// no validation to be serializable.
 		t.db.st.emptyCommits.Add(1)
 		return nil
 	}
 	if err := t.db.commit(t.state); err != nil {
+		if errors.Is(err, ErrConflict) {
+			// Failed validation: install never ran, so reserved insert
+			// slots were never born and return to the free list. (A WAL
+			// failure, by contrast, reports an error with the writes
+			// already applied in memory — those slots are consumed.)
+			t.releaseReserved()
+		}
 		t.db.st.aborts.Add(1)
 		return err
 	}
+	t.reserved = nil
 	return nil
 }
 
 // Abort discards the transaction. Staged writes were never published,
-// so aborting is free (the point of staging writes locally).
+// so aborting is free (the point of staging writes locally); row slots
+// reserved by Insert return to their table's free list unborn.
 func (t *Txn) Abort() error {
 	if t.done {
 		return ErrTxnDone
@@ -269,6 +572,7 @@ func (t *Txn) Abort() error {
 		t.db.snaps.release(t.gen)
 		return nil
 	}
+	t.releaseReserved()
 	t.db.activ.Unregister(t.id)
 	t.db.st.aborts.Add(1)
 	return nil
@@ -282,8 +586,8 @@ func (t *Txn) readable(tab, col string, row int) (*column, error) {
 	if err != nil {
 		return nil, err
 	}
-	if row < 0 || row >= c.data.Rows() {
-		return nil, fmt.Errorf("%w: row %d of %d", ErrRowRange, row, c.data.Rows())
+	if cap := c.tab.st.Capacity(); row < 0 || row >= cap {
+		return nil, errRowRange(tab, col, row, cap)
 	}
 	return c, nil
 }
@@ -292,7 +596,15 @@ func (t *Txn) writable(tab, col string, row int) (*column, error) {
 	if t.class == OLAP {
 		return nil, ErrReadOnly
 	}
-	return t.readable(tab, col, row)
+	c, err := t.readable(tab, col, row)
+	if err != nil {
+		return nil, err
+	}
+	if !t.oltpRowVisible(c.tab, row) {
+		t.noteAbsence(c.tab, row)
+		return nil, &notVisibleError{tab: tab, col: col, row: row, ts: t.state.Begin}
+	}
+	return c, nil
 }
 
 // valueAt reads the live column at timestamp ts with the lock-free
