@@ -8,7 +8,7 @@ GO ?= go
 # baseline and the gate on identical arguments or the configurations
 # will not match up. The grow sweep emits its insert throughput as
 # commits_per_sec, so one gate metric covers both benches.
-BENCH_GATE_ARGS := -quick -bench commit,grow -format json
+BENCH_GATE_ARGS := -quick -bench commit,grow,query -format json
 
 .PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline
 

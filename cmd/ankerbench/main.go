@@ -15,6 +15,10 @@
 //     throughput as the writer count grows, swept across commit shard
 //     counts. shards=1 is the paper's serialized commit phase; higher
 //     shard counts engage the sharded group-commit pipeline.
+//   - "query": streaming-engine throughput for a filtered group-by
+//     aggregate over a pinned snapshot, swept across predicate
+//     selectivity and morsel parallelism per strategy — the zone-map
+//     pruning and morsel-scaling experiment.
 //   - "durability": commit throughput with the write-ahead log
 //     enabled, swept across sync policies (none, groupOnly, always)
 //     and commit shard counts, plus crash-recovery replay time and
@@ -51,7 +55,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery,query", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery, query")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -173,6 +177,9 @@ func main() {
 	}
 	if benches["recovery"] {
 		benchRecovery()
+	}
+	if benches["query"] {
+		benchQuery(strats)
 	}
 	flush()
 }
@@ -939,6 +946,105 @@ func benchRecovery() {
 		})
 	}
 	textf("\n")
+}
+
+// benchQuery measures streaming-engine query throughput: a filtered
+// group-by aggregate (SUM and COUNT of v per g, filtered on k) over a
+// pinned snapshot, swept across predicate selectivity and morsel
+// parallelism per snapshot strategy. The key column is bulk-loaded
+// sorted, so zone maps prune the blocks outside the Between range;
+// zone_skip_pct reports the pruned fraction per point. Query
+// throughput is also emitted as commits_per_sec so the CI
+// bench-regression gate covers the query path with its default metric
+// (shards=-1 keeps the gate group independent of GOMAXPROCS).
+func benchQuery(strats []ankerdb.SnapshotStrategy) {
+	selectivities := []int{1, 10, 50, 100} // percent of the key range
+	morselCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		morselCounts = append(morselCounts, p)
+	}
+	rows := *flagRows
+	textf("== query: filtered group-by aggregate (%d rows, %v/point) × selectivity × morsels ==\n",
+		rows, *flagDur)
+	textf("%-10s  %8s  %6s  %11s  %9s  %9s  %8s\n",
+		"strategy", "morsels", "sel%", "queries/s", "scanned", "skipped", "skip%")
+	for _, strat := range strats {
+		db := openQueryTable(strat, rows)
+		for _, morsels := range morselCounts {
+			for _, sel := range selectivities {
+				hi := int64(rows*sel/100) - 1
+				var queries uint64
+				var last ankerdb.QueryStats
+				deadline := time.Now().Add(*flagDur)
+				for time.Now().Before(deadline) {
+					res, err := db.Query("bench").
+						Where(ankerdb.Between("k", 0, hi)).
+						GroupBy("g").
+						Aggregate(ankerdb.SumOf("v"), ankerdb.CountRows()).
+						Morsels(morsels).
+						Run()
+					if err != nil {
+						fail("query: %v", err)
+					}
+					last = res.Stats
+					queries++
+				}
+				perSec := float64(queries) / flagDur.Seconds()
+				skipPct := 0.0
+				if total := last.BlocksScanned + last.BlocksSkipped; total > 0 {
+					skipPct = 100 * float64(last.BlocksSkipped) / float64(total)
+				}
+				textf("%-10s  %8d  %6d  %11.0f  %9d  %9d  %7.1f%%\n",
+					strat, morsels, sel, perSec, last.BlocksScanned, last.BlocksSkipped, skipPct)
+				base := record{Bench: "query", Strategy: string(strat),
+					Shards: -1, Writers: morsels, Scanners: -1, Touch: sel}
+				emitAll(base, []metric{
+					{"queries_per_sec", perSec},
+					{"commits_per_sec", perSec},
+					{"blocks_scanned", float64(last.BlocksScanned)},
+					{"blocks_skipped", float64(last.BlocksSkipped)},
+					{"zone_skip_pct", skipPct},
+					{"rows_scanned", float64(last.RowsScanned)},
+				})
+			}
+		}
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
+		}
+	}
+	textf("\n")
+}
+
+// openQueryTable opens a DB with the query benchmark table: k sorted
+// (the zone-prunable filter column), g a 16-way grouping key, v the
+// aggregated payload.
+func openQueryTable(strat ankerdb.SnapshotStrategy, rows int) *ankerdb.DB {
+	schema := ankerdb.Schema{Table: "bench", Columns: []ankerdb.ColumnDef{
+		{Name: "k", Type: ankerdb.Int64},
+		{Name: "g", Type: ankerdb.Int64},
+		{Name: "v", Type: ankerdb.Int64},
+	}}
+	db, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(strat),
+		ankerdb.WithCostModel(costModel()),
+		ankerdb.WithInitialSchema(schema, rows))
+	if err != nil {
+		fail("open %s: %v", strat, err)
+	}
+	k := make([]int64, rows)
+	g := make([]int64, rows)
+	v := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		k[i] = int64(i)
+		g[i] = int64(i % 16)
+		v[i] = int64(i % 1000)
+	}
+	for col, vals := range map[string][]int64{"k": k, "g": g, "v": v} {
+		if err := db.Load("bench", col, vals); err != nil {
+			fail("load %s: %v", col, err)
+		}
+	}
+	return db
 }
 
 // globBytes sums the sizes of files matching pattern.

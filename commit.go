@@ -327,6 +327,7 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 		if t.RowInserted(id.Table, row) {
 			c.wts.SetU(row, ts)
 			c.data.Set(row, val)
+			c.widen(row, val)
 			writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: val, New: val})
 			return
 		}
@@ -336,9 +337,17 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 		c.noteVersioned(row)
 		c.wts.SetU(row, ts)
 		c.data.Set(row, val)
+		c.widen(row, val)
 		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
 	})
 	rec := mvcc.CommitRecord{TS: ts, Writes: writes}
+	// Per-table insert-minus-delete deltas, appended to the visibility
+	// logs below. A transaction touches very few tables, so a slice with
+	// linear search beats a map.
+	var visDeltas []struct {
+		t *table
+		d int64
+	}
 	t.EachRowOp(func(op mvcc.RowOp) {
 		tab := db.tableByIdx(op.Table)
 		tab.visMutated.Store(true)
@@ -361,7 +370,32 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 		rec.VisWrites = append(rec.VisWrites,
 			mvcc.WriteEntry{Col: mvcc.VisColumnID(op.Table), Row: op.Row})
 		rec.Ops = append(rec.Ops, op)
+		d := int64(1)
+		if op.Del {
+			d = -1
+		}
+		for i := range visDeltas {
+			if visDeltas[i].t == tab {
+				visDeltas[i].d += d
+				d = 0
+				break
+			}
+		}
+		if d != 0 {
+			visDeltas = append(visDeltas, struct {
+				t *table
+				d int64
+			}{tab, d})
+		}
 	})
+	// One visibility-log entry per mutated table, under that table's
+	// visibility shard lock (held by the caller) and before the commit
+	// timestamp completes — so any reader that can see ts sees it.
+	for _, e := range visDeltas {
+		if e.d != 0 { // insert+delete in one txn nets out
+			e.t.visLogAppend(ts, e.d)
+		}
+	}
 	return rec
 }
 

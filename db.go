@@ -103,6 +103,9 @@ type dbCounters struct {
 	checkpoints     atomic.Uint64
 	autoCheckpoints atomic.Uint64
 	groupSizes      [8]atomic.Uint64
+	queriesRun      atomic.Uint64
+	zoneSkipped     atomic.Uint64 // scan blocks pruned by zone maps
+	zoneScanned     atomic.Uint64 // scan blocks read by the query engine
 }
 
 // table pairs the storage-layer arrays with the per-column MVCC state
@@ -129,6 +132,11 @@ type table struct {
 	// mutating commit's timestamp completes, so a reader that finds it
 	// false can have no visible row op at its read timestamp.
 	visMutated atomic.Bool
+
+	// visLog is the table's visibility delta log (vislog.go): the
+	// cumulative insert/delete history that answers COUNT at any
+	// reachable timestamp in O(log n).
+	visLog atomic.Pointer[visLogState]
 }
 
 // reserve hands out an exclusive row slot for an insert: a reclaimed
@@ -217,6 +225,144 @@ type column struct {
 func (c *column) noteVersioned(row int) {
 	cr := c.tab.st.ChunkRows()
 	(*c.metas.Load())[row/cr].Note(row % cr)
+}
+
+// widen grows the zone map of row's block to cover v — called on every
+// value install (commit.go). Widen-only keeps zones sound against
+// concurrent lock-free readers and against deletes: a dead row's value
+// may linger (pruning less effective, never wrong) until a vacuum
+// recomputes the zone.
+func (c *column) widen(row int, v int64) {
+	cr := c.tab.st.ChunkRows()
+	(*c.metas.Load())[row/cr].Widen(row%cr, v)
+}
+
+// loadZones installs zone maps for a bulk load of rows [0, len(vals)).
+// A block the load covers fully gets the exact bounds of its loaded
+// values — every visible row of it now holds a loaded value, so the
+// initial zero zone may be replaced, which is what makes range
+// predicates over freshly loaded sorted data prune. A partially
+// covered tail block only widens: its remaining initial rows are
+// visible with the zero fill, so 0 must stay in its zone.
+func (c *column) loadZones(vals []int64) {
+	cr := c.tab.st.ChunkRows()
+	metas := *c.metas.Load()
+	n := len(vals)
+	for start := 0; start < n; {
+		ci := start / cr
+		rel := start - ci*cr
+		blk := rel / mvcc.BlockRows
+		end := ci*cr + (blk+1)*mvcc.BlockRows
+		if ce := (ci + 1) * cr; end > ce {
+			end = ce
+		}
+		if end <= n {
+			lo, hi := vals[start], vals[start]
+			for _, v := range vals[start+1 : end] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			metas[ci].SetZone(blk, lo, hi)
+		} else {
+			metas[ci].WidenRange(rel, vals[start:n])
+			end = n
+		}
+		start = end
+	}
+}
+
+// recomputeZones replaces every block's widen-only zone with the exact
+// bounds over the values a reader could still resolve there: in-place
+// values of rows visible at some reachable timestamp (skipping rows
+// reclaimed or dead at or below floor — no current or future reader
+// resolves those), plus every surviving version-chain value, which a
+// pinned generation might still reach. The caller must exclude
+// concurrent installs into the columns (Vacuum holds every shard
+// commit lock; recovery is single-threaded).
+func (c *column) recomputeZones(floor uint64) {
+	tab := c.tab
+	capacity := tab.st.Capacity()
+	cr := tab.st.ChunkRows()
+	metas := *c.metas.Load()
+	type zacc struct {
+		lo, hi int64
+		set    bool
+	}
+	acc := make([][]zacc, len(metas))
+	for ci := range metas {
+		acc[ci] = make([]zacc, metas[ci].Blocks())
+	}
+	fold := func(row int, v int64) {
+		a := &acc[row/cr][(row%cr)/mvcc.BlockRows]
+		if !a.set {
+			a.lo, a.hi, a.set = v, v, true
+			return
+		}
+		if v < a.lo {
+			a.lo = v
+		}
+		if v > a.hi {
+			a.hi = v
+		}
+	}
+	limit := len(metas) * cr
+	if capacity < limit {
+		limit = capacity
+	}
+	if !tab.visMutated.Load() {
+		if ir := tab.st.InitialRows(); ir < limit {
+			limit = ir
+		}
+		for row := 0; row < limit; row++ {
+			fold(row, c.data.Get(row))
+		}
+	} else {
+		birth, death := tab.st.Birth(), tab.st.Death()
+		for row := 0; row < limit; row++ {
+			if b := birth.GetU(row); b == storage.NeverTS {
+				continue // unborn, reserved, or reclaimed
+			}
+			if d := death.GetU(row); d != 0 && d <= floor {
+				continue // dead below every reachable timestamp
+			}
+			fold(row, c.data.Get(row))
+		}
+	}
+	// Chain values fold in before publication: a pinned generation can
+	// resolve them, so the new zone must cover them from the instant it
+	// replaces the old one.
+	c.chain.EachVersion(func(row int, val int64) {
+		if row < limit {
+			fold(row, val)
+		}
+	})
+	for ci, meta := range metas {
+		for blk := range acc[ci] {
+			a := acc[ci][blk]
+			if !a.set {
+				a.lo, a.hi = 0, 0 // no resolvable value: zero-filled block
+			}
+			meta.SetZone(blk, a.lo, a.hi)
+		}
+	}
+}
+
+// recomputeZones recomputes every column's zone maps (see the column
+// method). Vacuum calls it under all shard locks; recovery calls it
+// single-threaded before the DB is shared.
+func (db *DB) recomputeZones(floor uint64) {
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
+		for _, c := range t.cols {
+			c.recomputeZones(floor)
+		}
+	}
 }
 
 // Open creates a database configured by opts: purely in-memory by
@@ -368,6 +514,7 @@ func (db *DB) CreateTable(schema Schema, rows int) error {
 		return err
 	}
 	t := &table{idx: len(db.tabList), st: st, next: rows}
+	t.visLogInit()
 	for i, def := range schema.Columns {
 		c := &column{
 			id:    mvcc.ColumnID{Table: t.idx, Col: i},
@@ -530,9 +677,11 @@ func (db *DB) loadColumn(c *column, vals []int64, strs []string) error {
 			codes[i] = c.dict.Encode(s)
 		}
 		c.data.Fill(codes)
+		c.loadZones(codes)
 		return nil
 	}
 	c.data.Fill(vals)
+	c.loadZones(vals)
 	return nil
 }
 
@@ -567,6 +716,16 @@ func (db *DB) Vacuum() int64 {
 		removed += db.vacuumShardChains(s, floor)
 	}
 	db.reclaimRows(floor)
+	db.mu.RLock()
+	tabs := append([]*table(nil), db.tabList...)
+	db.mu.RUnlock()
+	for _, t := range tabs {
+		t.visLogCompact(floor)
+	}
+	// Recompute zone maps exactly now that reclaimed rows are out of the
+	// picture — widen-only installs between vacuums can only have left
+	// them too wide, never wrong.
+	db.recomputeZones(floor)
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
 	return removed

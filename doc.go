@@ -12,6 +12,12 @@
 //     compares (physical, fork, rewired, vmsnap)
 //   - internal/mvcc: version chains, precision-locking validation and
 //     the timestamp oracle
+//   - internal/query: the streaming query engine — composable
+//     operators (scan → filter → project → hash join →
+//     group-by/aggregate) over one pinned snapshot generation, with
+//     per-block min/max zone maps pruning the scan below the filter
+//     and morsel-driven parallelism across GOMAXPROCS workers
+//     (deterministic results at any worker count)
 //   - internal/wal: the durability subsystem — per-commit-shard
 //     write-ahead log with group-commit fsync batching, WAL-logged
 //     bulk loads, snapshot-driven checkpoints (manual or scheduled),
@@ -63,4 +69,20 @@
 //	r, _ := db.Begin(ankerdb.OLAP)
 //	sum, _ := r.Aggregate("orders", "qty", ankerdb.Sum)
 //	r.Commit()
+//
+// Analytical queries compose through the streaming engine: Txn.Query
+// binds a builder to an OLAP transaction's pinned snapshot (DB.Query
+// is the one-shot form), and every operator — filter with a predicate
+// tree, hash join against tables read at the same snapshot, group-by
+// with multiple aggregates — executes morsel-parallel with zone-map
+// pruning:
+//
+//	res, _ := db.Query("orders").
+//		Where(ankerdb.Between("qty", 100, 500)).
+//		GroupBy("qty").
+//		Aggregate(ankerdb.CountRows(), ankerdb.SumOf("qty")).
+//		Run()
+//	for i := 0; i < res.Len(); i++ {
+//		fmt.Println(res.At(i, 0), res.At(i, 1), res.At(i, 2))
+//	}
 package ankerdb

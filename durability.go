@@ -403,6 +403,11 @@ func (db *DB) recover() error {
 
 	db.applyVisOps(visOps)
 	db.rebuildRowState()
+	// Replay wrote straight into the arrays without maintaining zone
+	// maps; rebuild them exactly while recovery is still single-threaded
+	// (floor 0: chains are empty after recovery, nothing is reclaimed
+	// that the arrays don't already show).
+	db.recomputeZones(0)
 	db.oracle.Seed(maxTS)
 	db.recoveredTxns = replayed
 	db.recoveredLoads = loads
@@ -454,6 +459,7 @@ func (db *DB) rebuildRowState() {
 		birth, death := t.st.Birth(), t.st.Death()
 		next := t.st.InitialRows()
 		var free []int
+		var live int64
 		mutated := false
 		for row, capacity := 0, t.st.Capacity(); row < capacity; row++ {
 			b, d := birth.GetU(row), death.GetU(row)
@@ -461,6 +467,9 @@ func (db *DB) rebuildRowState() {
 			case b != storage.NeverTS:
 				if row >= next {
 					next = row + 1
+				}
+				if d == 0 {
+					live++
 				}
 				if b != 0 || d != 0 {
 					mutated = true
@@ -480,6 +489,10 @@ func (db *DB) rebuildRowState() {
 			mutated = true
 		}
 		t.visMutated.Store(mutated)
+		// The recovered arrays already reflect every durable row op and
+		// every reachable read timestamp sits above them, so the whole
+		// visibility history collapses into the log's base.
+		t.visLogReset(live - int64(t.st.InitialRows()))
 	}
 }
 

@@ -51,6 +51,11 @@ var (
 	// ErrNoDurability is returned by Checkpoint when the database was
 	// opened without WithDurability.
 	ErrNoDurability = errors.New("ankerdb: durability not enabled")
+
+	// ErrNotOLAP is returned by Txn.Query on a non-OLAP transaction:
+	// queries execute against a pinned snapshot generation, which only
+	// OLAP transactions hold.
+	ErrNotOLAP = errors.New("ankerdb: queries require an OLAP transaction")
 )
 
 // errRowRange builds the named ErrRowRange error for (table, column,

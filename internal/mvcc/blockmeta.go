@@ -8,23 +8,44 @@ import "sync/atomic"
 // between versioned records without per-row checks.
 const BlockRows = 1024
 
+// zone is one block's published min/max value summary. Zones are
+// immutable once published: widening or recomputing swaps the whole
+// pointer, so a concurrent lock-free reader never observes a torn
+// (new-min, old-max) pair.
+type zone struct{ min, max int64 }
+
+// zeroZone covers a freshly mapped (zero-filled) block.
+var zeroZone = zone{}
+
 // BlockMeta tracks, per block, the range of rows that carry version
-// chains in one column generation. Writers update it inside the
-// serialised commit phase; scans read it concurrently.
+// chains in one column generation, plus a min/max zone map over the
+// block's values. Writers update it inside the serialised commit
+// phase; scans read it concurrently.
 type BlockMeta struct {
 	first []atomic.Int32 // lowest versioned row in block, -1 if none
 	last  []atomic.Int32 // highest versioned row in block
+	zones []atomic.Pointer[zone]
 	rows  int
 }
 
 // NewBlockMeta returns metadata for a column of rows rows with no
-// versioned rows.
+// versioned rows. Zones start at {0, 0}: every chunk is zero-filled
+// when it is mapped, and every later value reaches the array through a
+// widening write path (commit install, bulk load, or recovery's
+// recompute), so the invariant "the zone covers every value any
+// snapshot reader can resolve in the block" holds from birth.
 func NewBlockMeta(rows int) *BlockMeta {
 	n := (rows + BlockRows - 1) / BlockRows
-	b := &BlockMeta{first: make([]atomic.Int32, n), last: make([]atomic.Int32, n), rows: rows}
+	b := &BlockMeta{
+		first: make([]atomic.Int32, n),
+		last:  make([]atomic.Int32, n),
+		zones: make([]atomic.Pointer[zone], n),
+		rows:  rows,
+	}
 	for i := range b.first {
 		b.first[i].Store(-1)
 		b.last[i].Store(-1)
+		b.zones[i].Store(&zeroZone)
 	}
 	return b
 }
@@ -79,6 +100,66 @@ func (b *BlockMeta) BlockSpan(blk int) (lo, hi int) {
 	return lo, hi
 }
 
+// Widen grows the zone of row's block to cover v. Widen-only is what
+// keeps zones sound under concurrent lock-free readers and under
+// Delete: a dead row's value may linger in the zone (pruning gets less
+// effective, never wrong) until a vacuum recomputes it.
+func (b *BlockMeta) Widen(row int, v int64) {
+	b.widenBlock(row/BlockRows, v, v)
+}
+
+// WidenRange widens the zones covering rows [start, start+len(vals))
+// by the values of vals — the bulk-load path, one CAS per block
+// instead of one per value.
+func (b *BlockMeta) WidenRange(start int, vals []int64) {
+	for len(vals) > 0 {
+		blk := start / BlockRows
+		n := min((blk+1)*BlockRows-start, len(vals))
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals[:n] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		b.widenBlock(blk, lo, hi)
+		start += n
+		vals = vals[n:]
+	}
+}
+
+func (b *BlockMeta) widenBlock(blk int, lo, hi int64) {
+	for {
+		z := b.zones[blk].Load()
+		if lo >= z.min && hi <= z.max {
+			return
+		}
+		nz := &zone{min: min(z.min, lo), max: max(z.max, hi)}
+		if b.zones[blk].CompareAndSwap(z, nz) {
+			return
+		}
+	}
+}
+
+// Zone returns the current min/max zone of block blk. Every value a
+// snapshot reader can resolve in the block — in place or through a
+// version chain — lies inside it, so a predicate with an empty
+// intersection can skip the block without reading a page.
+func (b *BlockMeta) Zone(blk int) (lo, hi int64) {
+	z := b.zones[blk].Load()
+	return z.min, z.max
+}
+
+// SetZone publishes a recomputed zone for block blk, replacing the
+// widen-only accumulation. Callers must exclude concurrent installs
+// into the block (vacuum holds every shard commit lock; recovery is
+// single-threaded) and must have folded in every chain-reachable value.
+func (b *BlockMeta) SetZone(blk int, lo, hi int64) {
+	b.zones[blk].Store(&zone{min: lo, max: hi})
+}
+
 // VersionedBlocks counts blocks with at least one versioned row.
 func (b *BlockMeta) VersionedBlocks() int {
 	n := 0
@@ -91,11 +172,18 @@ func (b *BlockMeta) VersionedBlocks() int {
 }
 
 // Clone returns an independent copy (used when freezing a generation).
+// Zone values are immutable once published, so the pointers are shared.
 func (b *BlockMeta) Clone() *BlockMeta {
-	c := &BlockMeta{first: make([]atomic.Int32, len(b.first)), last: make([]atomic.Int32, len(b.last)), rows: b.rows}
+	c := &BlockMeta{
+		first: make([]atomic.Int32, len(b.first)),
+		last:  make([]atomic.Int32, len(b.last)),
+		zones: make([]atomic.Pointer[zone], len(b.zones)),
+		rows:  b.rows,
+	}
 	for i := range b.first {
 		c.first[i].Store(b.first[i].Load())
 		c.last[i].Store(b.last[i].Load())
+		c.zones[i].Store(b.zones[i].Load())
 	}
 	return c
 }

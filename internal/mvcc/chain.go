@@ -83,6 +83,23 @@ func (c *ChainStore) VisibleAt(row int, ts uint64) (val int64, ok bool) {
 	return 0, false
 }
 
+// EachVersion calls fn for every version node in the store, holding
+// each shard's read lock during its walk. Zone-map recomputation uses
+// it: a pinned snapshot generation can resolve values reachable only
+// through chains, so a recomputed zone must cover them too.
+func (c *ChainStore) EachVersion(fn func(row int, val int64)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for row, n := range s.m {
+			for ; n != nil; n = n.Next {
+				fn(row, n.Val)
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // ChainLen returns the length of row's chain.
 func (c *ChainStore) ChainLen(row int) int {
 	s := c.shard(row)

@@ -581,3 +581,91 @@ func TestOracleSeed(t *testing.T) {
 		t.Fatalf("watermark = %d, want 43", o.Completed())
 	}
 }
+
+func TestBlockMetaZoneWiden(t *testing.T) {
+	b := NewBlockMeta(3000)
+	if lo, hi := b.Zone(0); lo != 0 || hi != 0 {
+		t.Fatalf("fresh zone = [%d,%d], want [0,0]", lo, hi)
+	}
+	b.Widen(100, 42)
+	b.Widen(200, -7)
+	if lo, hi := b.Zone(0); lo != -7 || hi != 42 {
+		t.Fatalf("zone 0 = [%d,%d], want [-7,42]", lo, hi)
+	}
+	// Widening never narrows, and other blocks stay untouched.
+	b.Widen(100, 5)
+	if lo, hi := b.Zone(0); lo != -7 || hi != 42 {
+		t.Fatalf("zone 0 after inner widen = [%d,%d]", lo, hi)
+	}
+	if lo, hi := b.Zone(1); lo != 0 || hi != 0 {
+		t.Fatalf("zone 1 = [%d,%d], want [0,0]", lo, hi)
+	}
+	b.SetZone(0, 1, 2)
+	if lo, hi := b.Zone(0); lo != 1 || hi != 2 {
+		t.Fatalf("zone 0 after SetZone = [%d,%d]", lo, hi)
+	}
+}
+
+func TestBlockMetaZoneWidenRange(t *testing.T) {
+	b := NewBlockMeta(4 * BlockRows)
+	vals := make([]int64, 2*BlockRows+10)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b.WidenRange(BlockRows/2, vals) // spans blocks 0..2
+	if lo, hi := b.Zone(0); lo != 0 || hi != int64(BlockRows/2-1) {
+		t.Fatalf("zone 0 = [%d,%d]", lo, hi)
+	}
+	// Widen-only: the fresh {0,0} zone stays folded into the min.
+	if lo, hi := b.Zone(1); lo != 0 || hi != int64(3*BlockRows/2-1) {
+		t.Fatalf("zone 1 = [%d,%d]", lo, hi)
+	}
+	if lo, hi := b.Zone(3); lo != 0 || hi != 0 {
+		t.Fatalf("zone 3 = [%d,%d], want untouched", lo, hi)
+	}
+}
+
+func TestBlockMetaZoneConcurrentWiden(t *testing.T) {
+	b := NewBlockMeta(BlockRows)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Widen(i%BlockRows, int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if lo, hi := b.Zone(0); lo != 0 || hi != 7999 {
+		t.Fatalf("zone = [%d,%d], want [0,7999]", lo, hi)
+	}
+}
+
+func TestBlockMetaCloneSharesZones(t *testing.T) {
+	b := NewBlockMeta(2048)
+	b.Widen(0, 9)
+	c := b.Clone()
+	if lo, hi := c.Zone(0); lo != 0 || hi != 9 {
+		t.Fatalf("clone zone = [%d,%d]", lo, hi)
+	}
+}
+
+func TestChainEachVersion(t *testing.T) {
+	c := NewChainStore()
+	c.Push(1, 10, 5)
+	c.Push(1, 20, 7)
+	c.Push(65, 30, 9) // same shard as row 1
+	got := map[int64]int{}
+	c.EachVersion(func(row int, val int64) { got[val] = row })
+	want := map[int64]int{10: 1, 20: 1, 30: 65}
+	if len(got) != len(want) {
+		t.Fatalf("versions = %v", got)
+	}
+	for v, r := range want {
+		if got[v] != r {
+			t.Fatalf("version %d on row %d, want %d", v, got[v], r)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggKind selects the fold an AggSpec computes.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggSpec is one requested aggregate: a kind plus the column it folds
+// (empty for Count). Build them with Sum, Count, Min, Max and Avg.
+type AggSpec struct {
+	Kind AggKind
+	Col  string
+}
+
+// Sum folds the sum of col.
+func Sum(col string) AggSpec { return AggSpec{Kind: AggSum, Col: col} }
+
+// Count folds the number of qualifying rows.
+func Count() AggSpec { return AggSpec{Kind: AggCount} }
+
+// Min folds the minimum of col (math.MaxInt64 over zero rows).
+func Min(col string) AggSpec { return AggSpec{Kind: AggMin, Col: col} }
+
+// Max folds the maximum of col (math.MinInt64 over zero rows).
+func Max(col string) AggSpec { return AggSpec{Kind: AggMax, Col: col} }
+
+// Avg folds the arithmetic mean of col as a float64 (0 over zero
+// rows); read it with Result.Float.
+func Avg(col string) AggSpec { return AggSpec{Kind: AggAvg, Col: col} }
+
+// label is the aggregate's output column name.
+func (a AggSpec) label() string {
+	switch a.Kind {
+	case AggSum:
+		return fmt.Sprintf("sum(%s)", a.Col)
+	case AggCount:
+		return "count()"
+	case AggMin:
+		return fmt.Sprintf("min(%s)", a.Col)
+	case AggMax:
+		return fmt.Sprintf("max(%s)", a.Col)
+	default:
+		return fmt.Sprintf("avg(%s)", a.Col)
+	}
+}
+
+// boundAgg is an AggSpec bound to a schema slot (-1 for Count).
+type boundAgg struct {
+	kind AggKind
+	slot int
+}
+
+// acc is one aggregate's accumulator; one per (group, agg).
+type acc struct {
+	sum, cnt, mn, mx int64
+}
+
+func newAccs(n int) []acc {
+	a := make([]acc, n)
+	for i := range a {
+		a[i].mn, a[i].mx = math.MaxInt64, math.MinInt64
+	}
+	return a
+}
+
+func (a *acc) add(v int64) {
+	a.sum += v
+	a.cnt++
+	if v < a.mn {
+		a.mn = v
+	}
+	if v > a.mx {
+		a.mx = v
+	}
+}
+
+func (a *acc) merge(o *acc) {
+	a.sum += o.sum
+	a.cnt += o.cnt
+	if o.mn < a.mn {
+		a.mn = o.mn
+	}
+	if o.mx > a.mx {
+		a.mx = o.mx
+	}
+}
+
+// final renders the accumulator as the aggregate's output word.
+func (b boundAgg) final(a *acc) int64 {
+	switch b.kind {
+	case AggSum:
+		return a.sum
+	case AggCount:
+		return a.cnt
+	case AggMin:
+		return a.mn
+	case AggMax:
+		return a.mx
+	default: // AggAvg, stored as float bits
+		if a.cnt == 0 {
+			return int64(math.Float64bits(0))
+		}
+		return int64(math.Float64bits(float64(a.sum) / float64(a.cnt)))
+	}
+}
+
+// groupAcc is one group's key values and per-aggregate accumulators.
+type groupAcc struct {
+	keys []int64
+	accs []acc
+}
+
+// aggregator is a per-worker hash-aggregation sink: it consumes the
+// worker's batches into per-group accumulators; worker states merge
+// after the pipelines drain, so workers never contend on shared state.
+type aggregator struct {
+	groupSlots []int
+	aggs       []boundAgg
+	global     *groupAcc           // no GROUP BY: the single group
+	single     map[int64]*groupAcc // one group column
+	multi      map[string]*groupAcc
+	keybuf     []byte
+}
+
+func newAggregator(groupSlots []int, aggs []boundAgg) *aggregator {
+	g := &aggregator{groupSlots: groupSlots, aggs: aggs}
+	switch len(groupSlots) {
+	case 0:
+		g.global = &groupAcc{accs: newAccs(len(aggs))}
+	case 1:
+		g.single = map[int64]*groupAcc{}
+	default:
+		g.multi = map[string]*groupAcc{}
+		g.keybuf = make([]byte, 8*len(groupSlots))
+	}
+	return g
+}
+
+// add folds one batch.
+func (g *aggregator) add(b *Batch) {
+	for i := 0; i < b.N; i++ {
+		ga := g.group(b, i)
+		for k, ba := range g.aggs {
+			if ba.kind == AggCount {
+				ga.accs[k].cnt++
+				continue
+			}
+			ga.accs[k].add(b.Cols[ba.slot][i])
+		}
+	}
+}
+
+func (g *aggregator) group(b *Batch, i int) *groupAcc {
+	switch {
+	case g.global != nil:
+		return g.global
+	case g.single != nil:
+		k := b.Cols[g.groupSlots[0]][i]
+		ga := g.single[k]
+		if ga == nil {
+			ga = &groupAcc{keys: []int64{k}, accs: newAccs(len(g.aggs))}
+			g.single[k] = ga
+		}
+		return ga
+	default:
+		for j, slot := range g.groupSlots {
+			v := uint64(b.Cols[slot][i])
+			for by := 0; by < 8; by++ {
+				g.keybuf[j*8+by] = byte(v >> (8 * by))
+			}
+		}
+		ga := g.multi[string(g.keybuf)]
+		if ga == nil {
+			keys := make([]int64, len(g.groupSlots))
+			for j, slot := range g.groupSlots {
+				keys[j] = b.Cols[slot][i]
+			}
+			ga = &groupAcc{keys: keys, accs: newAccs(len(g.aggs))}
+			g.multi[string(g.keybuf)] = ga
+		}
+		return ga
+	}
+}
+
+// merge folds another worker's aggregator into g.
+func (g *aggregator) merge(o *aggregator) {
+	each := func(key string, k int64, ga *groupAcc) {
+		var mine *groupAcc
+		switch {
+		case g.global != nil:
+			mine = g.global
+		case g.single != nil:
+			if mine = g.single[k]; mine == nil {
+				g.single[k] = ga
+				return
+			}
+		default:
+			if mine = g.multi[key]; mine == nil {
+				g.multi[key] = ga
+				return
+			}
+		}
+		for i := range mine.accs {
+			mine.accs[i].merge(&ga.accs[i])
+		}
+	}
+	switch {
+	case o.global != nil:
+		each("", 0, o.global)
+	case o.single != nil:
+		for k, ga := range o.single {
+			each("", k, ga)
+		}
+	default:
+		for key, ga := range o.multi {
+			each(key, 0, ga)
+		}
+	}
+}
+
+// groups returns every group sorted by key values ascending — the
+// deterministic output order whatever the morsel schedule was. Without
+// GROUP BY there is exactly one group, present even over zero rows.
+func (g *aggregator) groups() []*groupAcc {
+	var out []*groupAcc
+	switch {
+	case g.global != nil:
+		return []*groupAcc{g.global}
+	case g.single != nil:
+		for _, ga := range g.single {
+			out = append(out, ga)
+		}
+	default:
+		for _, ga := range g.multi {
+			out = append(out, ga)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].keys, out[j].keys
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

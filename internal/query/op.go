@@ -1,0 +1,237 @@
+package query
+
+import "sync/atomic"
+
+// Op is one streaming operator of a per-worker pipeline. Next returns
+// the operator's next batch, or nil at end of stream. A returned batch
+// is owned by the producing operator and valid until the next call.
+type Op interface {
+	Next() (*Batch, error)
+}
+
+// scanOp is the pipeline source: it claims morsels from the shared
+// dispatcher (work-stealing via one atomic counter, the morsel-driven
+// scheme of Leis et al. adapted to snapshot scans), prunes each block
+// whose zones cannot satisfy the scan predicate, and reads the
+// surviving blocks' visible rows into a reused column-major batch.
+type scanOp struct {
+	p          *plan
+	next       *atomic.Int64
+	nM         int // total morsels
+	morselRows int // rows per morsel; a multiple of BlockRows
+	bound      int // probe scan bound
+
+	readSlots []int // probe slots filled from ReadBlock
+	readCols  []int // their probe column indices, parallel to readSlots
+	idSlots   []int // probe slots carrying RowID
+
+	rowIDs []int64
+	views  [][]int64 // scratch: per-call windows into batch columns
+	batch  Batch
+	st     *ExecStats
+}
+
+func newScanOp(p *plan, next *atomic.Int64, nM, morselRows, bound int, st *ExecStats) *scanOp {
+	s := &scanOp{
+		p: p, next: next, nM: nM, morselRows: morselRows, bound: bound,
+		rowIDs: make([]int64, morselRows),
+		st:     st,
+	}
+	s.batch.Cols = make([][]int64, len(p.slots))
+	for i, sl := range p.slots {
+		if sl.src != srcProbe {
+			continue // a join fills it downstream
+		}
+		s.batch.Cols[i] = make([]int64, morselRows)
+		if sl.col < 0 {
+			s.idSlots = append(s.idSlots, i)
+		} else {
+			s.readSlots = append(s.readSlots, i)
+			s.readCols = append(s.readCols, sl.col)
+		}
+	}
+	s.views = make([][]int64, len(s.readSlots))
+	return s
+}
+
+func (s *scanOp) Next() (*Batch, error) {
+	br := s.p.probe.BlockRows()
+	for {
+		m := int(s.next.Add(1) - 1)
+		if m >= s.nM {
+			return nil, nil
+		}
+		lo := m * s.morselRows
+		hi := lo + s.morselRows
+		if hi > s.bound {
+			hi = s.bound
+		}
+		s.st.Morsels++
+		n, scanned := 0, false
+		for blo := lo; blo < hi; blo += br {
+			bhi := blo + br
+			if bhi > hi {
+				bhi = hi
+			}
+			if s.prunable(blo/br, blo, bhi) {
+				s.st.BlocksSkipped++
+				continue
+			}
+			scanned = true
+			s.st.BlocksScanned++
+			s.st.RowsScanned += int64(bhi - blo)
+			for i, slot := range s.readSlots {
+				s.views[i] = s.batch.Cols[slot][n:]
+			}
+			k, err := s.p.probe.ReadBlock(blo, bhi, s.readCols, s.rowIDs[n:], s.views)
+			if err != nil {
+				return nil, err
+			}
+			n += k
+		}
+		if !scanned {
+			s.st.MorselsSkipped++
+		}
+		if n == 0 {
+			continue
+		}
+		for _, slot := range s.idSlots {
+			copy(s.batch.Cols[slot][:n], s.rowIDs[:n])
+		}
+		s.batch.Morsel, s.batch.N = m, n
+		return &s.batch, nil
+	}
+}
+
+// prunable reports whether block blk (rows [blo, bhi)) provably holds
+// no matching row, using zone maps plus the block's row-index range for
+// RowID leaves.
+func (s *scanOp) prunable(blk, blo, bhi int) bool {
+	if s.p.noPrune || s.p.scanPred == nil {
+		return false
+	}
+	return !s.p.scanPred.satisfiable(func(slot int) (int64, int64, bool) {
+		sl := s.p.slots[slot]
+		if sl.src != srcProbe {
+			return 0, 0, false
+		}
+		if sl.col < 0 {
+			return int64(blo), int64(bhi - 1), true
+		}
+		return s.p.probe.Zone(sl.col, blk)
+	})
+}
+
+// filterOp drops the rows of its child's batches that fail the bound
+// predicate, compacting survivors in place (the child rewrites the
+// batch on its next Next call anyway).
+type filterOp struct {
+	child Op
+	pred  *boundPred
+}
+
+func (f *filterOp) Next() (*Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if b == nil || err != nil {
+			return nil, err
+		}
+		var i int
+		get := func(slot int) int64 { return b.Cols[slot][i] }
+		n := 0
+		for i = 0; i < b.N; i++ {
+			if !f.pred.eval(get) {
+				continue
+			}
+			if n != i {
+				for _, c := range b.Cols {
+					if c != nil {
+						c[n] = c[i]
+					}
+				}
+			}
+			n++
+		}
+		if n > 0 {
+			b.N = n
+			return b, nil
+		}
+	}
+}
+
+// joinOp is the probe side of an equi hash join. The build side is
+// materialized once (joinPlan.build*) and shared read-only by every
+// worker; probing streams batches through, fanning each probe row out
+// to its matches. Output batches never span child batches, so rows
+// stay grouped by morsel and result order stays deterministic.
+type joinOp struct {
+	child Op
+	j     *joinPlan
+	cap   int
+
+	pending *Batch // current child batch, nil when drained
+	pi      int    // probe row cursor in pending
+	mi      int    // match cursor within the current probe row
+	out     Batch
+}
+
+func (o *joinOp) Next() (*Batch, error) {
+	o.out.N = 0
+	for {
+		if o.pending == nil {
+			b, err := o.child.Next()
+			if b == nil || err != nil {
+				return nil, err
+			}
+			o.ensureOut(b)
+			o.pending, o.pi, o.mi = b, 0, 0
+		}
+		b := o.pending
+		o.out.Morsel = b.Morsel
+		for o.pi < b.N {
+			matches := o.j.ht[b.Cols[o.j.probeSlot][o.pi]]
+			for o.mi < len(matches) {
+				if o.out.N == o.cap {
+					return &o.out, nil
+				}
+				r := matches[o.mi]
+				o.mi++
+				n := o.out.N
+				for si, c := range b.Cols {
+					if c != nil {
+						o.out.Cols[si][n] = c[o.pi]
+					}
+				}
+				for k, slot := range o.j.slots {
+					o.out.Cols[slot][n] = o.j.rows[k][r]
+				}
+				o.out.N = n + 1
+			}
+			o.mi = 0
+			o.pi++
+		}
+		o.pending = nil
+		if o.out.N > 0 {
+			return &o.out, nil
+		}
+	}
+}
+
+// ensureOut sizes the output batch: every slot the child produces plus
+// the slots this join fills.
+func (o *joinOp) ensureOut(child *Batch) {
+	if o.out.Cols != nil {
+		return
+	}
+	o.out.Cols = make([][]int64, len(child.Cols))
+	for si, c := range child.Cols {
+		if c != nil {
+			o.out.Cols[si] = make([]int64, o.cap)
+		}
+	}
+	for _, slot := range o.j.slots {
+		if o.out.Cols[slot] == nil {
+			o.out.Cols[slot] = make([]int64, o.cap)
+		}
+	}
+}

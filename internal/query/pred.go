@@ -1,0 +1,265 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predicates are built as immutable trees of AND / OR / NOT over range
+// leaves (every comparison is the interval [lo, hi] on one column) and
+// string-equality leaves. Binding resolves column names against the
+// plan's schema, encodes string leaves through the owning table's
+// dictionary, and pushes negation down to the leaves (De Morgan; the
+// negation of an interval is a union of at most two intervals), so the
+// bound tree contains only AND, OR and interval leaves. That normal
+// form makes zone-map pruning a recursive interval-intersection test.
+
+type predOp uint8
+
+const (
+	pCmp predOp = iota // value of col in [lo, hi]
+	pStrEq
+	pAnd
+	pOr
+	pNot
+)
+
+// Pred is one node of a predicate tree. The zero Pred is invalid; use
+// the constructors.
+type Pred struct {
+	op     predOp
+	kids   []Pred
+	col    string
+	lo, hi int64
+	str    string
+}
+
+// Eq matches rows whose col equals v.
+func Eq(col string, v int64) Pred { return Pred{op: pCmp, col: col, lo: v, hi: v} }
+
+// Ne matches rows whose col differs from v.
+func Ne(col string, v int64) Pred { return Not(Eq(col, v)) }
+
+// Lt matches rows with col < v.
+func Lt(col string, v int64) Pred {
+	if v == math.MinInt64 {
+		return Pred{op: pCmp, col: col, lo: 1, hi: 0} // empty interval
+	}
+	return Pred{op: pCmp, col: col, lo: math.MinInt64, hi: v - 1}
+}
+
+// Le matches rows with col <= v.
+func Le(col string, v int64) Pred { return Pred{op: pCmp, col: col, lo: math.MinInt64, hi: v} }
+
+// Gt matches rows with col > v.
+func Gt(col string, v int64) Pred {
+	if v == math.MaxInt64 {
+		return Pred{op: pCmp, col: col, lo: 1, hi: 0}
+	}
+	return Pred{op: pCmp, col: col, lo: v + 1, hi: math.MaxInt64}
+}
+
+// Ge matches rows with col >= v.
+func Ge(col string, v int64) Pred { return Pred{op: pCmp, col: col, lo: v, hi: math.MaxInt64} }
+
+// Between matches rows with col in [lo, hi].
+func Between(col string, lo, hi int64) Pred { return Pred{op: pCmp, col: col, lo: lo, hi: hi} }
+
+// EqString matches rows whose VARCHAR col equals s. The comparison
+// binds to the column's dictionary code; a string the dictionary never
+// encoded matches no row.
+func EqString(col, s string) Pred { return Pred{op: pStrEq, col: col, str: s} }
+
+// And matches rows satisfying every given predicate (vacuously all
+// rows when empty).
+func And(ps ...Pred) Pred { return Pred{op: pAnd, kids: ps} }
+
+// Or matches rows satisfying any given predicate (no rows when empty).
+func Or(ps ...Pred) Pred { return Pred{op: pOr, kids: ps} }
+
+// Not matches rows the given predicate rejects.
+func Not(p Pred) Pred { return Pred{op: pNot, kids: []Pred{p}} }
+
+// columns calls fn with every column name the predicate references.
+func (p Pred) columns(fn func(name string)) {
+	switch p.op {
+	case pCmp, pStrEq:
+		fn(p.col)
+	default:
+		for _, k := range p.kids {
+			k.columns(fn)
+		}
+	}
+}
+
+// conjuncts flattens nested ANDs into a list of top-level conjuncts,
+// the unit the planner routes to the probe scan, a join's build side,
+// or the post-join filter.
+func (p Pred) conjuncts() []Pred {
+	if p.op != pAnd {
+		return []Pred{p}
+	}
+	var out []Pred
+	for _, k := range p.kids {
+		out = append(out, k.conjuncts()...)
+	}
+	return out
+}
+
+// boundPred is the executable, schema-bound normal form: AND / OR over
+// interval leaves. An AND with no kids is true, an OR with no kids is
+// false.
+type boundPred struct {
+	op     predOp // pAnd, pOr or pCmp
+	kids   []boundPred
+	col    int // slot index in the pipeline schema
+	lo, hi int64
+}
+
+// predBinder resolves predicate column names for bind.
+type predBinder interface {
+	// predColumn resolves name to a schema slot; isStr reports whether
+	// the slot holds dictionary codes.
+	predColumn(name string) (slot int, isStr bool, err error)
+	// encodeSlot resolves s against slot's dictionary; ok is false when
+	// s was never encoded.
+	encodeSlot(slot int, s string) (int64, bool)
+}
+
+var (
+	bTrue  = boundPred{op: pAnd}
+	bFalse = boundPred{op: pOr}
+)
+
+// bind resolves and normalizes p. neg pushes an enclosing NOT down.
+func (p Pred) bind(b predBinder, neg bool) (boundPred, error) {
+	switch p.op {
+	case pCmp:
+		slot, _, err := b.predColumn(p.col)
+		if err != nil {
+			return bFalse, err
+		}
+		return boundRange(slot, p.lo, p.hi, neg), nil
+	case pStrEq:
+		slot, isStr, err := b.predColumn(p.col)
+		if err != nil {
+			return bFalse, err
+		}
+		if !isStr {
+			return bFalse, fmt.Errorf("query: EqString on non-VARCHAR column %q", p.col)
+		}
+		code, ok := b.encodeSlot(slot, p.str)
+		if !ok {
+			if neg {
+				return bTrue, nil
+			}
+			return bFalse, nil
+		}
+		return boundRange(slot, code, code, neg), nil
+	case pAnd, pOr:
+		op := p.op
+		if neg { // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b and vice versa
+			if p.op == pAnd {
+				op = pOr
+			} else {
+				op = pAnd
+			}
+		}
+		kids := make([]boundPred, 0, len(p.kids))
+		for _, k := range p.kids {
+			bk, err := k.bind(b, neg)
+			if err != nil {
+				return bFalse, err
+			}
+			kids = append(kids, bk)
+		}
+		return boundPred{op: op, kids: kids}, nil
+	case pNot:
+		return p.kids[0].bind(b, !neg)
+	}
+	return bFalse, fmt.Errorf("query: invalid predicate node")
+}
+
+// boundRange builds the leaf for "col in [lo, hi]", or its negation as
+// a union of the at most two complementary intervals.
+func boundRange(slot int, lo, hi int64, neg bool) boundPred {
+	if !neg {
+		return boundPred{op: pCmp, col: slot, lo: lo, hi: hi}
+	}
+	var kids []boundPred
+	if lo != math.MinInt64 {
+		kids = append(kids, boundPred{op: pCmp, col: slot, lo: math.MinInt64, hi: lo - 1})
+	}
+	if hi != math.MaxInt64 {
+		kids = append(kids, boundPred{op: pCmp, col: slot, lo: hi + 1, hi: math.MaxInt64})
+	}
+	if lo > hi { // negated empty interval: everything matches
+		return bTrue
+	}
+	return boundPred{op: pOr, kids: kids}
+}
+
+// eval reports whether the row whose slot values get returns satisfies
+// the predicate.
+func (p *boundPred) eval(get func(slot int) int64) bool {
+	switch p.op {
+	case pCmp:
+		v := get(p.col)
+		return v >= p.lo && v <= p.hi
+	case pAnd:
+		for i := range p.kids {
+			if !p.kids[i].eval(get) {
+				return false
+			}
+		}
+		return true
+	default: // pOr
+		for i := range p.kids {
+			if p.kids[i].eval(get) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// satisfiable reports whether any value assignment inside the given
+// per-slot zones can satisfy the predicate. zone returns a slot's
+// min/max bounds, ok=false when unknown (unknown slots never prune).
+// A false result is a proof: no row of the zone's block can match, so
+// the block is skipped without reading it.
+func (p *boundPred) satisfiable(zone func(slot int) (lo, hi int64, ok bool)) bool {
+	switch p.op {
+	case pCmp:
+		zlo, zhi, ok := zone(p.col)
+		if !ok {
+			return p.lo <= p.hi
+		}
+		return p.lo <= zhi && p.hi >= zlo && p.lo <= p.hi
+	case pAnd:
+		for i := range p.kids {
+			if !p.kids[i].satisfiable(zone) {
+				return false
+			}
+		}
+		return true
+	default: // pOr
+		for i := range p.kids {
+			if p.kids[i].satisfiable(zone) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// slots calls fn with every schema slot the bound predicate reads.
+func (p *boundPred) slots(fn func(slot int)) {
+	if p.op == pCmp {
+		fn(p.col)
+		return
+	}
+	for i := range p.kids {
+		p.kids[i].slots(fn)
+	}
+}

@@ -1,0 +1,68 @@
+package query
+
+// RowID is the pseudo-column name resolving to the physical row index
+// of the scanned (probe) table. It can be selected and filtered like
+// any column of a non-aggregating query.
+const RowID = "#row"
+
+// Table is the scan surface the engine executes against: one table of
+// one pinned snapshot. Implementations must serve a fixed timestamp —
+// every method must keep answering consistently while a query runs,
+// however many writers commit concurrently.
+type Table interface {
+	// Name returns the table name (used for qualified column
+	// resolution, "table.col").
+	Name() string
+
+	// Columns returns the column names in schema order.
+	Columns() []string
+
+	// IsString reports whether column col holds dictionary codes.
+	IsString(col int) bool
+
+	// Encode resolves s to its dictionary code in column col; ok is
+	// false when s was never encoded (no stored row can hold it).
+	Encode(col int, s string) (int64, bool)
+
+	// Decode resolves a dictionary code of column col to its string.
+	Decode(col int, code int64) string
+
+	// Prepare is called once before execution with every column index
+	// the query reads, letting implementations pin per-column snapshot
+	// resources and fix the scan bound Rows reports.
+	Prepare(cols []int) error
+
+	// Rows returns the scan bound: every visible row lies below it.
+	// Valid only after Prepare.
+	Rows() int
+
+	// NumRows returns the snapshot-consistent visible row count — the
+	// engine's cardinality estimate, expected in O(log) time or better.
+	NumRows() int64
+
+	// BlockRows is the zone-map granularity in rows.
+	BlockRows() int
+
+	// Zone returns the min/max value bounds of block blk (rows
+	// [blk*BlockRows, (blk+1)*BlockRows)) of column col; ok is false
+	// when no bound is known, in which case the block must be scanned.
+	// Every value a reader of this snapshot can resolve inside the
+	// block must lie within the returned bounds.
+	Zone(col, blk int) (lo, hi int64, ok bool)
+
+	// ReadBlock scans the visible rows of [lo, hi), filling rowIDs and
+	// out[i] (the values of cols[i]) densely, and returns the number of
+	// visible rows. Caller-provided slices hold at least hi-lo entries.
+	ReadBlock(lo, hi int, cols []int, rowIDs []int64, out [][]int64) (int, error)
+}
+
+// Batch is one unit of streamed rows between operators: column-major,
+// one slice per pipeline schema slot. Slots not yet produced (a join's
+// build columns before the join ran) are nil. Operators own their
+// output batch and reuse it across Next calls; consumers must copy
+// what they retain.
+type Batch struct {
+	Morsel int       // morsel the rows came from (ordering results)
+	N      int       // valid rows in each non-nil column
+	Cols   [][]int64 // indexed by schema slot
+}

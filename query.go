@@ -1,0 +1,182 @@
+package ankerdb
+
+import "ankerdb/internal/query"
+
+// Pred is a query predicate: a tree of comparisons over column values,
+// combined with And/Or/Not. Build predicates with the package-level
+// constructors (Eq, Between, EqString, ...); column names may be
+// qualified "table.col" to disambiguate joined tables, and RowID
+// refers to the probed table's row index.
+type Pred = query.Pred
+
+// AggSpec selects one aggregate of a query (see SumOf, CountRows,
+// MinOf, MaxOf, AvgOf).
+type AggSpec = query.AggSpec
+
+// QueryResult is a finished query: column-major data plus execution
+// statistics (morsels dispatched, blocks pruned by zone maps, ...).
+type QueryResult = query.Result
+
+// QueryStats describes how a query executed.
+type QueryStats = query.ExecStats
+
+// RowID is the pseudo-column holding the probed table's row index.
+const RowID = query.RowID
+
+// Predicate constructors, re-exported from the query engine.
+func Eq(col string, v int64) Pred           { return query.Eq(col, v) }
+func Ne(col string, v int64) Pred           { return query.Ne(col, v) }
+func Lt(col string, v int64) Pred           { return query.Lt(col, v) }
+func Le(col string, v int64) Pred           { return query.Le(col, v) }
+func Gt(col string, v int64) Pred           { return query.Gt(col, v) }
+func Ge(col string, v int64) Pred           { return query.Ge(col, v) }
+func Between(col string, lo, hi int64) Pred { return query.Between(col, lo, hi) }
+func EqString(col, s string) Pred           { return query.EqString(col, s) }
+func And(ps ...Pred) Pred                   { return query.And(ps...) }
+func Or(ps ...Pred) Pred                    { return query.Or(ps...) }
+func Not(p Pred) Pred                       { return query.Not(p) }
+
+// Aggregate constructors. (The root package's Agg constants Sum, Min,
+// Max, Count belong to the scalar Txn.Aggregate API, hence the *Of
+// names here.)
+func SumOf(col string) AggSpec { return query.Sum(col) }
+func MinOf(col string) AggSpec { return query.Min(col) }
+func MaxOf(col string) AggSpec { return query.Max(col) }
+func AvgOf(col string) AggSpec { return query.Avg(col) }
+func CountRows() AggSpec       { return query.Count() }
+
+// Query is a composable query over one pinned snapshot: scan the probe
+// table, filter (with zone-map pruning pushing the predicate below the
+// scan), hash-join against other tables of the same snapshot, group
+// and aggregate — executed morsel-parallel with a deterministic
+// result. Build it with Txn.Query or DB.Query and chain; errors
+// surface from Run.
+type Query struct {
+	db  *DB
+	t   *Txn // supplies the pinned generation
+	own bool // Run releases t when DB.Query created it
+	b   *query.Builder
+	err error
+}
+
+// Query starts a query scanning tab at the transaction's pinned
+// snapshot. The transaction must be OLAP: queries execute against a
+// snapshot generation, which only OLAP transactions pin.
+func (t *Txn) Query(tab string) *Query {
+	q := &Query{db: t.db, t: t}
+	switch {
+	case t.done:
+		q.err = ErrTxnDone
+	case t.class != OLAP:
+		q.err = ErrNotOLAP
+	default:
+		tb, err := t.db.lookupTable(tab)
+		if err != nil {
+			q.err = err
+			return q
+		}
+		q.b = query.New(newSnapTable(tb, t.gen))
+	}
+	return q
+}
+
+// Query starts a one-shot query scanning tab: an internal OLAP
+// transaction pins the current snapshot and is released when Run
+// returns. Use Txn.Query to run several queries against the same
+// snapshot.
+func (db *DB) Query(tab string) *Query {
+	t, err := db.Begin(OLAP)
+	if err != nil {
+		return &Query{db: db, err: err}
+	}
+	q := t.Query(tab)
+	q.own = true
+	return q
+}
+
+// Where restricts the query to rows matching p; multiple calls AND.
+func (q *Query) Where(p Pred) *Query {
+	if q.err == nil {
+		q.b.Where(p)
+	}
+	return q
+}
+
+// Join adds an inner equi join against tab (read at the same pinned
+// snapshot): rows where probeCol equals buildCol of tab. The joined
+// table is hashed once; the probed side streams.
+func (q *Query) Join(tab, probeCol, buildCol string) *Query {
+	if q.err != nil {
+		return q
+	}
+	tb, err := q.db.lookupTable(tab)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.b.Join(newSnapTable(tb, q.t.gen), probeCol, buildCol)
+	return q
+}
+
+// GroupBy groups the aggregation by the given columns.
+func (q *Query) GroupBy(cols ...string) *Query {
+	if q.err == nil {
+		q.b.GroupBy(cols...)
+	}
+	return q
+}
+
+// Aggregate makes the query aggregating, computing the given specs
+// (per group when GroupBy was set, else over all qualifying rows).
+func (q *Query) Aggregate(aggs ...AggSpec) *Query {
+	if q.err == nil {
+		q.b.Aggregate(aggs...)
+	}
+	return q
+}
+
+// Select projects the named columns, in order. Without it a
+// non-aggregating query returns every probe column followed by every
+// joined table's columns.
+func (q *Query) Select(cols ...string) *Query {
+	if q.err == nil {
+		q.b.Select(cols...)
+	}
+	return q
+}
+
+// Morsels caps the number of parallel workers; default GOMAXPROCS.
+func (q *Query) Morsels(n int) *Query {
+	if q.err == nil {
+		q.b.Morsels(n)
+	}
+	return q
+}
+
+// WithoutPruning disables zone-map pruning (every block is scanned);
+// useful to verify pruning and to measure its benefit.
+func (q *Query) WithoutPruning() *Query {
+	if q.err == nil {
+		q.b.WithoutPruning()
+	}
+	return q
+}
+
+// Run binds, executes and merges the query.
+func (q *Query) Run() (*QueryResult, error) {
+	if q.own && q.t != nil {
+		defer q.t.Commit()
+	}
+	if q.err != nil {
+		return nil, q.err
+	}
+	res, err := q.b.Run()
+	if err != nil {
+		return nil, err
+	}
+	st := &q.db.st
+	st.queriesRun.Add(1)
+	st.zoneSkipped.Add(uint64(res.Stats.BlocksSkipped))
+	st.zoneScanned.Add(uint64(res.Stats.BlocksScanned))
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package ankerdb
+
+import (
+	"ankerdb/internal/mvcc"
+	"ankerdb/internal/query"
+)
+
+// snapTable exposes one table of a pinned snapshot generation to the
+// query engine: query.Table's contract (Prepare pins state, then
+// Zone/ReadBlock/NumRows answer against it) maps onto the generation's
+// lazily-captured per-column snapshots and the table's visibility log.
+// A snapTable belongs to one query and is not used concurrently —
+// workers share the engine's plan, not the adapter's capture step.
+type snapTable struct {
+	tab *table
+	gen *generation
+
+	names []string
+
+	snaps []*colSnap // per schema column, captured by Prepare
+	vs    *colSnap   // visibility snapshot; nil on the unmutated fast path
+	bound int        // scan bound, valid after Prepare
+}
+
+func newSnapTable(tab *table, gen *generation) *snapTable {
+	schema := tab.st.Schema()
+	names := make([]string, len(schema.Columns))
+	for i, cd := range schema.Columns {
+		names[i] = cd.Name
+	}
+	return &snapTable{tab: tab, gen: gen, names: names}
+}
+
+func (s *snapTable) Name() string      { return s.tab.st.Schema().Table }
+func (s *snapTable) Columns() []string { return s.names }
+
+func (s *snapTable) IsString(col int) bool {
+	return s.tab.cols[col].def.Type == Varchar
+}
+
+func (s *snapTable) Encode(col int, str string) (int64, bool) {
+	return s.tab.cols[col].dict.Lookup(str)
+}
+
+func (s *snapTable) Decode(col int, code int64) string {
+	return s.tab.cols[col].dict.Decode(code)
+}
+
+// Prepare captures the snapshots the scan needs: the visibility arrays
+// when the table ever saw a row op (the unmutated fast path needs no
+// per-row checks at all — exactly the initial rows are visible), and
+// each referenced column. The scan bound is the minimum over the
+// captures: every capture happened after the generation's timestamp
+// was fixed, so a row beyond any of them was born after that timestamp
+// and is invisible to the query regardless.
+func (s *snapTable) Prepare(cols []int) error {
+	s.snaps = make([]*colSnap, len(s.tab.cols))
+	bound := s.tab.st.InitialRows()
+	if s.tab.visMutated.Load() {
+		vs, err := s.gen.visSnap(s.tab)
+		if err != nil {
+			return err
+		}
+		s.vs = vs
+		bound = vs.rows()
+	}
+	for _, ci := range cols {
+		cs, err := s.gen.colSnap(s.tab.cols[ci])
+		if err != nil {
+			return err
+		}
+		s.snaps[ci] = cs
+		if r := cs.rows(); r < bound {
+			bound = r
+		}
+	}
+	s.bound = bound
+	return nil
+}
+
+func (s *snapTable) Rows() int      { return s.bound }
+func (s *snapTable) BlockRows() int { return mvcc.BlockRows }
+
+// NumRows is the snapshot-consistent visible row count, answered in
+// O(log n) by the table's visibility log.
+func (s *snapTable) NumRows() int64 {
+	if !s.tab.visMutated.Load() {
+		return int64(s.tab.st.InitialRows())
+	}
+	return s.tab.visCountAt(s.gen.ts)
+}
+
+// Zone returns the value bounds of global block blk. Zones live in the
+// chunk-grained scan metadata, whose chunks may be smaller than a
+// global block, so the result is the union over every chunk block the
+// span [blk*BlockRows, (blk+1)*BlockRows) touches. A chunk whose
+// metadata hasn't been published yet (capacity can run a beat ahead of
+// it) reports no zone — the engine scans the block instead of pruning
+// it.
+func (s *snapTable) Zone(col, blk int) (int64, int64, bool) {
+	c := s.tab.cols[col]
+	cr := s.tab.st.ChunkRows()
+	metas := *c.metas.Load()
+	lo := blk * mvcc.BlockRows
+	hi := lo + mvcc.BlockRows
+	if hi > s.bound {
+		hi = s.bound
+	}
+	var zlo, zhi int64
+	first := true
+	for r := lo; r < hi; {
+		ci := r / cr
+		if ci >= len(metas) {
+			return 0, 0, false
+		}
+		rel := r - ci*cr
+		lblk := rel / mvcc.BlockRows
+		l, h := metas[ci].Zone(lblk)
+		if first {
+			zlo, zhi, first = l, h, false
+		} else {
+			if l < zlo {
+				zlo = l
+			}
+			if h > zhi {
+				zhi = h
+			}
+		}
+		next := ci*cr + (lblk+1)*mvcc.BlockRows
+		if end := (ci + 1) * cr; next > end {
+			next = end
+		}
+		r = next
+	}
+	if first {
+		return 0, 0, false
+	}
+	return zlo, zhi, true
+}
+
+// ReadBlock reads the visible rows of [lo, hi) — row indices into
+// rowIDs, then each requested column's snapshot-resolved values into
+// the parallel out slice. The block-granular version metadata keeps
+// the common case a straight page copy (the HyPer-style optimisation
+// of Section 5.5): only rows inside a block's versioned span pay the
+// write-timestamp check and possible chain walk.
+func (s *snapTable) ReadBlock(lo, hi int, cols []int, rowIDs []int64, out [][]int64) (int, error) {
+	n := 0
+	if s.vs == nil {
+		for row := lo; row < hi; row++ {
+			rowIDs[n] = int64(row)
+			n++
+		}
+	} else {
+		ts := s.gen.ts
+		for row := lo; row < hi; row++ {
+			if s.vs.visibleAt(row, ts) {
+				rowIDs[n] = int64(row)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	for i, ci := range cols {
+		s.fillColumn(ci, rowIDs[:n], out[i])
+	}
+	return n, nil
+}
+
+// fillColumn resolves the given rows of one column against its
+// captured snapshot. Rows are ascending, so the versioned span of the
+// covering metadata block is computed once per block, not per row.
+func (s *snapTable) fillColumn(ci int, rowIDs []int64, out []int64) {
+	c := s.tab.cols[ci]
+	cs := s.snaps[ci]
+	cr := s.tab.st.ChunkRows()
+	metas := *c.metas.Load()
+	segEnd := -1
+	var vlo, vhi int
+	var any bool
+	for k, rid := range rowIDs {
+		row := int(rid)
+		if row >= segEnd {
+			chunk := row / cr
+			if chunk >= len(metas) {
+				// Published capacity can precede the metadata by a chunk;
+				// such a chunk cannot hold versioned rows yet (the first
+				// Note into it needs a commit that postdates the metadata).
+				any = false
+				segEnd = (chunk + 1) * cr
+			} else {
+				rel := row - chunk*cr
+				blk := rel / mvcc.BlockRows
+				l, h, a := metas[chunk].Range(blk)
+				vlo, vhi, any = l+chunk*cr, h+chunk*cr, a
+				segEnd = chunk*cr + (blk+1)*mvcc.BlockRows
+				if end := (chunk + 1) * cr; segEnd > end {
+					segEnd = end
+				}
+			}
+		}
+		if any && row >= vlo && row <= vhi {
+			out[k] = s.gen.value(c, cs, row)
+		} else {
+			out[k] = cs.data.Get(row)
+		}
+	}
+}
+
+var _ query.Table = (*snapTable)(nil)

@@ -68,6 +68,14 @@ type Stats struct {
 	Vacuums             uint64        // chain GC passes
 	RecentCommitRecords int           // retained validation records
 
+	// Query engine.
+	QueriesRun uint64 // queries executed through Txn.Query / DB.Query
+	// ZoneMapSkippedChunks / ZoneMapScannedChunks count probe-scan
+	// blocks pruned by zone maps vs actually read, summed over queries:
+	// the measure of how much scan work predicate pushdown avoided.
+	ZoneMapSkippedChunks uint64
+	ZoneMapScannedChunks uint64
+
 	// Growable tables (Txn.Insert / Txn.Delete).
 	RowInserts    uint64 // rows transactionally born (committed inserts)
 	RowDeletes    uint64 // rows transactionally killed (committed deletes)
@@ -136,6 +144,10 @@ func (db *DB) Stats() Stats {
 
 		VersionsGCed: db.st.versionsGCed.Load(),
 		Vacuums:      db.st.vacuums.Load(),
+
+		QueriesRun:           db.st.queriesRun.Load(),
+		ZoneMapSkippedChunks: db.st.zoneSkipped.Load(),
+		ZoneMapScannedChunks: db.st.zoneScanned.Load(),
 
 		RowInserts:    db.st.rowInserts.Load(),
 		RowDeletes:    db.st.rowDeletes.Load(),

@@ -310,6 +310,13 @@ func (t *Txn) Scan(tab, col string) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.class == OLAP {
+		res, err := t.Query(tab).Select(col).Run()
+		if err != nil {
+			return nil, err
+		}
+		return res.Ints(0), nil
+	}
 	out := make([]int64, 0, c.tab.st.InitialRows())
 	err = t.scanColumn(c, func(_ int, v int64) { out = append(out, v) })
 	return out, err
@@ -324,9 +331,18 @@ func (t *Txn) Filter(tab, col string, lo, hi int64) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.class == OLTP {
-		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: lo, Hi: hi})
+	if t.class == OLAP {
+		res, err := t.Query(tab).Where(Between(col, lo, hi)).Select(RowID).Run()
+		if err != nil {
+			return nil, err
+		}
+		var rows []int
+		for _, r := range res.Ints(0) {
+			rows = append(rows, int(r))
+		}
+		return rows, nil
 	}
+	t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: lo, Hi: hi})
 	var rows []int
 	err = t.scanColumn(c, func(row int, v int64) {
 		if v >= lo && v <= hi {
@@ -356,10 +372,27 @@ func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if agg == Count {
+		return t.countVisible(c)
+	}
+	if t.class == OLAP {
+		var spec AggSpec
+		switch agg {
+		case Min:
+			spec = MinOf(col)
+		case Max:
+			spec = MaxOf(col)
+		default:
+			spec = SumOf(col)
+		}
+		res, err := t.Query(tab).Aggregate(spec).Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.At(0, 0), nil
+	}
 	var acc int64
 	switch agg {
-	case Count:
-		return t.countVisible(c)
 	case Min:
 		acc = math.MaxInt64
 	case Max:
@@ -382,145 +415,61 @@ func (t *Txn) Aggregate(tab, col string, agg Agg) (int64, error) {
 	return acc, err
 }
 
-// countVisible counts the visible row set without touching column
-// data. OLTP transactions record the count as a full-range predicate —
-// a concurrent insert or delete changes the count and must invalidate
-// them; OLAP transactions resolve against the generation's visibility
-// snapshot.
+// countVisible counts the visible row set without touching column data
+// or the visibility arrays: the table's visibility log answers the
+// snapshot-consistent count at any reachable timestamp in O(log n)
+// (see vislog.go). OLTP transactions add their own staged inserts and
+// subtract staged deletes, and record the count as a full-range
+// predicate — a concurrent insert or delete changes the count and must
+// invalidate them.
 func (t *Txn) countVisible(c *column) (int64, error) {
 	tab := c.tab
-	if t.class == OLTP {
-		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
-		if !tab.visMutated.Load() && !t.state.HasRowOpsFor(tab.idx) {
-			return int64(tab.st.InitialRows()), nil
-		}
-		var n int64
-		for row, limit := 0, tab.st.Capacity(); row < limit; row++ {
-			if t.oltpRowVisible(tab, row) {
+	if t.class == OLAP {
+		return tab.visCountAt(t.gen.ts), nil
+	}
+	t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
+	n := tab.visCountAt(t.state.Begin)
+	if t.state.HasRowOpsFor(tab.idx) {
+		t.state.EachRowOp(func(op mvcc.RowOp) {
+			if op.Table != tab.idx {
+				return
+			}
+			if op.Del {
+				n--
+			} else {
 				n++
 			}
-		}
-		return n, nil
-	}
-	if !tab.visMutated.Load() {
-		return int64(tab.st.InitialRows()), nil
-	}
-	vs, err := t.gen.visSnap(tab)
-	if err != nil {
-		return 0, err
-	}
-	var n int64
-	for row, limit := 0, vs.rows(); row < limit; row++ {
-		if vs.visibleAt(row, t.gen.ts) {
-			n++
-		}
+		})
 	}
 	return n, nil
 }
 
-// scanColumn drives fn over every visible row at the transaction's
-// read timestamp, in row order. OLAP scans run over the snapshot's
-// resolved pages with the block-granular version metadata keeping the
-// common case a tight loop (the HyPer-style optimisation of Section
-// 5.5); OLTP scans read the live column with the lock-free read
-// protocol and record the scan as a full-range predicate for
-// validation. Tables that never saw an Insert or Delete skip the
-// per-row visibility checks entirely and scan exactly their initial
-// rows — the pre-growable fast path.
+// scanColumn drives fn over every visible row at an OLTP transaction's
+// begin timestamp, in row order, reading the live column with the
+// lock-free read protocol and recording the scan as a full-range
+// predicate for validation. Tables that never saw an Insert or Delete
+// skip the per-row visibility checks entirely and scan exactly their
+// initial rows — the pre-growable fast path. OLAP scans don't come
+// through here: they run in the streaming query engine against the
+// pinned generation (see query.go and the snapTable adapter).
 func (t *Txn) scanColumn(c *column, fn func(row int, v int64)) error {
 	tab := c.tab
-	if t.class == OLTP {
-		t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
-		begin := t.state.Begin
-		fast := !tab.visMutated.Load() && !t.state.HasRowOpsFor(tab.idx)
-		limit := tab.st.InitialRows()
-		if !fast {
-			limit = tab.st.Capacity()
-		}
-		for row := 0; row < limit; row++ {
-			if !fast && !t.oltpRowVisible(tab, row) {
-				continue
-			}
-			if v, ok := t.state.StagedValue(c.id, row); ok {
-				fn(row, v)
-				continue
-			}
-			fn(row, c.valueAt(row, begin))
-		}
-		return nil
+	t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: math.MinInt64, Hi: math.MaxInt64})
+	begin := t.state.Begin
+	fast := !tab.visMutated.Load() && !t.state.HasRowOpsFor(tab.idx)
+	limit := tab.st.InitialRows()
+	if !fast {
+		limit = tab.st.Capacity()
 	}
-	cs, err := t.gen.colSnap(c)
-	if err != nil {
-		return err
-	}
-	rows := cs.rows()
-	var vs *colSnap
-	if tab.visMutated.Load() {
-		if vs, err = t.gen.visSnap(tab); err != nil {
-			return err
-		}
-		if vs.rows() < rows {
-			// The visibility capture predates the column capture by a
-			// chunk: rows beyond it were born after the generation's
-			// timestamp and are invisible to it.
-			rows = vs.rows()
-		}
-	} else if ir := tab.st.InitialRows(); ir < rows {
-		rows = ir
-	}
-	chunkRows := tab.st.ChunkRows()
-	metas := *c.metas.Load()
-	for ci := 0; ci*chunkRows < rows; ci++ {
-		base := ci * chunkRows
-		if ci >= len(metas) {
-			// Capacity can be published a beat before the scan metadata
-			// grows (reserve() orders it that way). A chunk without
-			// metadata cannot hold versioned rows yet — the first Note
-			// into it requires a commit that postdates the metadata —
-			// so its rows scan straight from the snapshot, visibility-
-			// filtered like any others.
-			for row := base; row < min(base+chunkRows, rows); row++ {
-				if vs != nil && !vs.visibleAt(row, t.gen.ts) {
-					continue
-				}
-				fn(row, cs.data.Get(row))
-			}
+	for row := 0; row < limit; row++ {
+		if !fast && !t.oltpRowVisible(tab, row) {
 			continue
 		}
-		meta := metas[ci]
-		for blk := 0; blk < meta.Blocks(); blk++ {
-			lo, hi := meta.BlockSpan(blk)
-			lo, hi = lo+base, hi+base
-			if lo >= rows {
-				break
-			}
-			if hi > rows {
-				hi = rows
-			}
-			vlo, vhi, any := meta.Range(blk)
-			vlo, vhi = vlo+base, vhi+base
-			if !any {
-				// No row of this block was ever versioned: pure snapshot
-				// data, scanned page-wise without per-row version checks.
-				for row := lo; row < hi; row++ {
-					if vs != nil && !vs.visibleAt(row, t.gen.ts) {
-						continue
-					}
-					fn(row, cs.data.Get(row))
-				}
-				continue
-			}
-			for row := lo; row < hi; row++ {
-				if vs != nil && !vs.visibleAt(row, t.gen.ts) {
-					continue
-				}
-				if row >= vlo && row <= vhi {
-					fn(row, t.gen.value(c, cs, row))
-				} else {
-					fn(row, cs.data.Get(row))
-				}
-			}
+		if v, ok := t.state.StagedValue(c.id, row); ok {
+			fn(row, v)
+			continue
 		}
+		fn(row, c.valueAt(row, begin))
 	}
 	return nil
 }

@@ -1,0 +1,87 @@
+package ankerdb
+
+// In-package visibility-log tests: entry accumulation under committed
+// row ops, O(log n) count answers at historical timestamps, and
+// Vacuum's compaction folding dead entries into the base.
+
+import "testing"
+
+func TestVisLogCountAndCompaction(t *testing.T) {
+	db, err := Open(
+		WithSnapshotStrategy(Physical),
+		WithCostModel(ZeroCost),
+		WithInitialSchema(internalSchema(1), 16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab := db.tables["t"]
+
+	if n := tab.visCountAt(db.oracle.Completed()); n != 16 {
+		t.Fatalf("initial count = %d, want 16", n)
+	}
+
+	// Commit inserts and deletes, recording the timestamp after each
+	// commit so historical counts can be checked exactly.
+	type point struct {
+		ts   uint64
+		want int64
+	}
+	var history []point
+	commitRowOp := func(insert int, del []int) {
+		w, err := db.Begin(OLTP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < insert; i++ {
+			if _, err := w.Insert("t", map[string]any{"v0": int64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range del {
+			if err := w.Delete("t", r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := int64(16)
+	for i := 0; i < 6; i++ {
+		commitRowOp(2, nil)
+		want += 2
+		history = append(history, point{db.oracle.Completed(), want})
+	}
+	commitRowOp(0, []int{0, 1, 2})
+	want -= 3
+	history = append(history, point{db.oracle.Completed(), want})
+
+	if tab.visLogLen() == 0 {
+		t.Fatal("no visibility-log entries after committed row ops")
+	}
+	for _, p := range history {
+		if n := tab.visCountAt(p.ts); n != p.want {
+			t.Fatalf("count at ts %d = %d, want %d", p.ts, n, p.want)
+		}
+	}
+
+	// With no readers pinned, Vacuum's floor covers every entry: the
+	// whole history folds into the base and counts stay exact.
+	db.Vacuum()
+	if l := tab.visLogLen(); l != 0 {
+		t.Fatalf("visLogLen after vacuum = %d, want 0", l)
+	}
+	if n := tab.visCountAt(db.oracle.Completed()); n != want {
+		t.Fatalf("count after compaction = %d, want %d", n, want)
+	}
+
+	// Entries committed after the compaction append on the fresh base.
+	commitRowOp(1, nil)
+	want++
+	if n := tab.visCountAt(db.oracle.Completed()); n != want {
+		t.Fatalf("count after post-compaction insert = %d, want %d", n, want)
+	}
+}
