@@ -6,9 +6,9 @@ GO ?= go
 
 # The exact workload the bench-regression gate compares: keep the
 # baseline and the gate on identical arguments or the configurations
-# will not match up. The grow sweep emits its insert throughput as
-# commits_per_sec, so one gate metric covers both benches.
-BENCH_GATE_ARGS := -quick -bench commit,grow,query -format json
+# will not match up. The grow, query and index sweeps emit their
+# throughput as commits_per_sec, so one gate metric covers every bench.
+BENCH_GATE_ARGS := -quick -bench commit,grow,query,index -format json
 
 .PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline
 

@@ -19,6 +19,11 @@
 //     aggregate over a pinned snapshot, swept across predicate
 //     selectivity and morsel parallelism per strategy — the zone-map
 //     pruning and morsel-scaling experiment.
+//   - "index": secondary-index probe speedup: 0.1%-selective point
+//     lookups and 1%-selective ranges through the hash and ordered
+//     indexes against the same queries forced down the scan path
+//     (WithoutPruning), per strategy. The values cycle per block, so
+//     zone maps cannot help the scan — the speedup is the index alone.
 //   - "durability": commit throughput with the write-ahead log
 //     enabled, swept across sync policies (none, groupOnly, always)
 //     and commit shard counts, plus crash-recovery replay time and
@@ -55,7 +60,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery,query", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery, query")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery,query,index", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery, query, index")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -180,6 +185,9 @@ func main() {
 	}
 	if benches["query"] {
 		benchQuery(strats)
+	}
+	if benches["index"] {
+		benchIndex(strats)
 	}
 	flush()
 }
@@ -1041,6 +1049,114 @@ func openQueryTable(strat ankerdb.SnapshotStrategy, rows int) *ankerdb.DB {
 	}
 	for col, vals := range map[string][]int64{"k": k, "g": g, "v": v} {
 		if err := db.Load("bench", col, vals); err != nil {
+			fail("load %s: %v", col, err)
+		}
+	}
+	return db
+}
+
+// benchIndex measures the secondary-index speedup: equality point
+// lookups (hash index, ~0.1% selectivity at the default value cycle)
+// and narrow ranges (ordered index, ~1% selectivity) through the
+// engine's index routing, against the identical queries forced down
+// the scan path with WithoutPruning. Values cycle per block so zone
+// maps cannot prune the scan — the measured gap is the index alone.
+// Indexed point-lookup throughput is also emitted as commits_per_sec
+// so the CI bench-regression gate covers the probe path with its
+// default metric (shards=-1 keeps the gate group GOMAXPROCS-free).
+func benchIndex(strats []ankerdb.SnapshotStrategy) {
+	rows := *flagRows
+	vals := 1000 // distinct values per column: 1M rows -> 0.1% point selectivity
+	if vals > rows {
+		vals = rows
+	}
+	textf("== index: point + range lookups, indexed vs scan (%d rows, %d values, %v/side) ==\n",
+		rows, vals, *flagDur)
+	textf("%-10s  %-6s  %11s  %11s  %8s\n", "strategy", "probe", "indexed/s", "scan/s", "speedup")
+	for _, strat := range strats {
+		db := openIndexTable(strat, rows, vals)
+		st0 := db.Stats()
+		run := func(point, scan bool) float64 {
+			var queries uint64
+			deadline := time.Now().Add(*flagDur)
+			for t := 0; time.Now().Before(deadline); t++ {
+				target := int64(t % vals)
+				q := db.Query("bench")
+				if point {
+					q = q.Where(ankerdb.Eq("v", target))
+				} else {
+					q = q.Where(ankerdb.Between("r", target, target+int64(vals/100)))
+				}
+				q = q.Select(ankerdb.RowID)
+				if scan {
+					q = q.WithoutPruning()
+				}
+				if _, err := q.Run(); err != nil {
+					fail("index query: %v", err)
+				}
+				queries++
+			}
+			return float64(queries) / flagDur.Seconds()
+		}
+		pointIdx := run(true, false)
+		pointScan := run(true, true)
+		rangeIdx := run(false, false)
+		rangeScan := run(false, true)
+		st := db.Stats()
+		if st.IndexProbes == st0.IndexProbes {
+			fail("index bench: %s served no index probes — engine routing regressed", strat)
+		}
+		if err := db.Close(); err != nil {
+			fail("close: %v", err)
+		}
+
+		speedup := func(idx, scan float64) float64 {
+			if scan <= 0 {
+				return 0
+			}
+			return idx / scan
+		}
+		textf("%-10s  %-6s  %11.0f  %11.0f  %7.1fx\n", strat, "point", pointIdx, pointScan, speedup(pointIdx, pointScan))
+		textf("%-10s  %-6s  %11.0f  %11.0f  %7.1fx\n", strat, "range", rangeIdx, rangeScan, speedup(rangeIdx, rangeScan))
+		base := record{Bench: "index", Strategy: string(strat), Shards: -1, Writers: 1, Scanners: -1, Touch: -1}
+		emitAll(base, []metric{
+			{"point_indexed_per_sec", pointIdx},
+			{"commits_per_sec", pointIdx},
+			{"point_scan_per_sec", pointScan},
+			{"point_speedup", speedup(pointIdx, pointScan)},
+			{"range_indexed_per_sec", rangeIdx},
+			{"range_scan_per_sec", rangeScan},
+			{"range_speedup", speedup(rangeIdx, rangeScan)},
+			{"index_probes", float64(st.IndexProbes - st0.IndexProbes)},
+			{"index_entries", float64(st.IndexEntries)},
+		})
+	}
+	textf("\n")
+}
+
+// openIndexTable opens a DB with the index benchmark table: v hash-
+// indexed (point probes), r ordered-indexed (range probes), pad an
+// unindexed payload. All three cycle through vals distinct values, so
+// every block spans the whole value range and zone maps cannot prune.
+func openIndexTable(strat ankerdb.SnapshotStrategy, rows, vals int) *ankerdb.DB {
+	schema := ankerdb.NewSchema("bench").
+		Int64("v").Indexed(ankerdb.Hash).
+		Int64("r").Indexed(ankerdb.Ordered).
+		Int64("pad").
+		Build()
+	db, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(strat),
+		ankerdb.WithCostModel(costModel()),
+		ankerdb.WithInitialSchema(schema, rows))
+	if err != nil {
+		fail("open %s: %v", strat, err)
+	}
+	cycle := make([]int64, rows)
+	for i := range cycle {
+		cycle[i] = int64(i % vals)
+	}
+	for _, col := range []string{"v", "r", "pad"} {
+		if err := db.Load("bench", col, cycle); err != nil {
 			fail("load %s: %v", col, err)
 		}
 	}

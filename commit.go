@@ -328,6 +328,12 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 			c.wts.SetU(row, ts)
 			c.data.Set(row, val)
 			c.widen(row, val)
+			// Index maintenance rides the same critical section as the
+			// write install: an inserted row births one entry per indexed
+			// column (Insert stages a write on every column).
+			if ix := c.idx.Load(); ix != nil {
+				ix.Add(val, row, ts)
+			}
 			writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: val, New: val})
 			return
 		}
@@ -338,6 +344,13 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 		c.wts.SetU(row, ts)
 		c.data.Set(row, val)
 		c.widen(row, val)
+		// A value change death-stamps the displaced association and
+		// births the new one at the same timestamp, mirroring the version
+		// chain push; a same-value overwrite leaves the live entry alone.
+		if ix := c.idx.Load(); ix != nil && old != val {
+			ix.Kill(old, row, ts)
+			ix.Add(val, row, ts)
+		}
 		writes = append(writes, mvcc.WriteEntry{Col: id, Row: row, Old: old, New: val})
 	})
 	rec := mvcc.CommitRecord{TS: ts, Writes: writes}
@@ -354,9 +367,14 @@ func (db *DB) install(t *mvcc.TxnState, ts uint64) mvcc.CommitRecord {
 		if op.Del {
 			// Shadow every column of the dying row with its last value:
 			// a concurrent reader whose predicate or point read covered
-			// the row read state this deletion invalidates.
+			// the row read state this deletion invalidates. Indexed
+			// columns also death-stamp the row's live entry here, at the
+			// same timestamp the visibility array records.
 			for _, c := range tab.cols {
 				old := c.data.Get(op.Row)
+				if ix := c.idx.Load(); ix != nil {
+					ix.Kill(old, op.Row, ts)
+				}
 				rec.VisWrites = append(rec.VisWrites,
 					mvcc.WriteEntry{Col: c.id, Row: op.Row, Old: old, New: old})
 			}

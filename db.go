@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ankerdb/internal/index"
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/storage"
@@ -106,6 +107,8 @@ type dbCounters struct {
 	queriesRun      atomic.Uint64
 	zoneSkipped     atomic.Uint64 // scan blocks pruned by zone maps
 	zoneScanned     atomic.Uint64 // scan blocks read by the query engine
+	indexProbes     atomic.Uint64 // secondary-index probes served
+	indexQueries    atomic.Uint64 // engine queries routed through an index probe
 }
 
 // table pairs the storage-layer arrays with the per-column MVCC state
@@ -218,6 +221,12 @@ type column struct {
 	chain *mvcc.ChainStore
 	metas atomic.Pointer[[]*mvcc.BlockMeta] // one per capacity chunk
 	dict  *storage.Dict
+
+	// idx is the column's secondary index, nil when none: declared in
+	// the schema, or built online by CreateIndex (index_db.go). Commit
+	// installation maintains it under the owning shard's commit lock;
+	// probes read it lock-free through the pointer.
+	idx atomic.Pointer[index.Index]
 }
 
 // noteVersioned records that row now carries a version chain, in the
@@ -529,6 +538,20 @@ func (db *DB) CreateTable(schema Schema, rows int) error {
 		c.metas.Store(&metas)
 		t.cols = append(t.cols, c)
 	}
+	for _, c := range t.cols {
+		if c.def.Index != NoIndex {
+			if db.recovering {
+				// Placeholder: recovery rebuilds contents from the
+				// recovered column + visibility arrays once replay is done.
+				c.idx.Store(index.New(c.def.Index, 0))
+			} else {
+				// Build over the initial rows (visible from time zero with
+				// the zero fill). minTS 0: a brand-new table has no version
+				// chains, so any read timestamp is servable.
+				c.idx.Store(buildColumnIndex(c, c.def.Index, 0))
+			}
+		}
+	}
 	db.tables[schema.Table] = t
 	db.tabList = append(db.tabList, t)
 	if db.wal != nil && !db.recovering {
@@ -678,10 +701,11 @@ func (db *DB) loadColumn(c *column, vals []int64, strs []string) error {
 		}
 		c.data.Fill(codes)
 		c.loadZones(codes)
-		return nil
+	} else {
+		c.data.Fill(vals)
+		c.loadZones(vals)
 	}
-	c.data.Fill(vals)
-	c.loadZones(vals)
+	db.reindexColumn(c)
 	return nil
 }
 
@@ -724,8 +748,18 @@ func (db *DB) Vacuum() int64 {
 	}
 	// Recompute zone maps exactly now that reclaimed rows are out of the
 	// picture — widen-only installs between vacuums can only have left
-	// them too wide, never wrong.
+	// them too wide, never wrong. Index entries dead below the floor go
+	// the same way — and must, before a reclaimed slot is reused, so a
+	// re-inserted row's fresh entries never coexist with its dead
+	// incarnation's at a reachable timestamp.
 	db.recomputeZones(floor)
+	for _, t := range tabs {
+		for _, c := range t.cols {
+			if ix := c.idx.Load(); ix != nil {
+				ix.Prune(floor)
+			}
+		}
+	}
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
 	return removed

@@ -18,6 +18,11 @@
 //     per-block min/max zone maps pruning the scan below the filter
 //     and morsel-driven parallelism across GOMAXPROCS workers
 //     (deterministic results at any worker count)
+//   - internal/index: transactional secondary indexes (Hash for
+//     equality, Ordered for ranges) whose entries carry birth/death
+//     commit timestamps like the row-visibility arrays — maintained
+//     in the commit shard's critical section, probed at any snapshot
+//     without locks, and rebuilt deterministically at recovery
 //   - internal/wal: the durability subsystem — per-commit-shard
 //     write-ahead log with group-commit fsync batching, WAL-logged
 //     bulk loads, snapshot-driven checkpoints (manual or scheduled),
@@ -81,8 +86,31 @@
 //		Where(ankerdb.Between("qty", 100, 500)).
 //		GroupBy("qty").
 //		Aggregate(ankerdb.CountRows(), ankerdb.SumOf("qty")).
+//		Limit(10).
 //		Run()
 //	for i := 0; i < res.Len(); i++ {
 //		fmt.Println(res.At(i, 0), res.At(i, 1), res.At(i, 2))
 //	}
+//
+// Columns can carry transactional secondary indexes, declared fluently
+// with the SchemaBuilder (or via ColumnDef.Index) and built or dropped
+// online with DB.CreateIndex / DB.DropIndex. Txn.Lookup answers "which
+// rows hold this value" through the index in O(matches), and both
+// Txn.Filter and the query engine's Eq/Between conjuncts route through
+// the same probe when the index estimates it beats a scan:
+//
+//	db.CreateTable(ankerdb.NewSchema("users").
+//		Int64("uid").Indexed(ankerdb.Hash).
+//		Int64("score").Indexed(ankerdb.Ordered).
+//		Build(), 1<<16)
+//
+//	w, _ := db.Begin(ankerdb.OLTP)
+//	rows, _ := w.Lookup("users", "uid", 42)
+//
+// Note on Filter: its positional (lo, hi) range form predates the
+// predicate tree and is retained for compatibility; for equality
+// prefer Lookup, and for anything more structured than a single
+// closed range prefer the query builder's Where — both stay on the
+// index-backed path, and the builder composes And/Or/Not without the
+// positional-range ambiguity.
 package ankerdb

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"ankerdb/internal/index"
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
 	"ankerdb/internal/wal"
@@ -16,13 +17,20 @@ import (
 // (manual and scheduler-driven), durable bulk loads, and Open-time
 // crash recovery.
 
-// tableRecord converts a schema into its schema-log form.
+// tableRecord converts a schema into its schema-log form, including
+// declared secondary-index kinds (a trailing extension old logs lack).
 func tableRecord(schema Schema, rows int) wal.TableRecord {
 	rec := wal.TableRecord{Name: schema.Table, Rows: rows}
 	for _, c := range schema.Columns {
-		rec.Columns = append(rec.Columns, wal.ColumnDef{Name: c.Name, Type: uint8(c.Type)})
+		rec.Columns = append(rec.Columns, wal.ColumnDef{Name: c.Name, Type: uint8(c.Type), Index: uint8(c.Index)})
 	}
 	return rec
+}
+
+// wrecIndexDDL converts an online CreateIndex/DropIndex into its
+// schema-log form.
+func wrecIndexDDL(tab, col string, kind IndexKind, drop bool) wal.IndexDDLRecord {
+	return wal.IndexDDLRecord{Table: tab, Column: col, Kind: uint8(kind), Drop: drop}
 }
 
 // redoRecord converts a committed transaction's record into its WAL
@@ -288,12 +296,32 @@ func (db *DB) recover() error {
 	db.recovering = true
 	defer func() { db.recovering = false }()
 
-	if err := db.wal.ReplayTables(func(tr wal.TableRecord) error {
+	if err := db.wal.ReplaySchema(func(tr wal.TableRecord) error {
 		schema := Schema{Table: tr.Name}
 		for _, c := range tr.Columns {
-			schema.Columns = append(schema.Columns, ColumnDef{Name: c.Name, Type: ColumnType(c.Type)})
+			schema.Columns = append(schema.Columns, ColumnDef{Name: c.Name, Type: ColumnType(c.Type), Index: IndexKind(c.Index)})
 		}
 		return db.CreateTable(schema, tr.Rows)
+	}, func(ir wal.IndexDDLRecord) error {
+		// Online index DDL, replayed in log order over the declared
+		// state. Only existence is tracked here (empty placeholders);
+		// contents are rebuilt below once the arrays are recovered.
+		// Records that do not resolve against the durable schema prefix
+		// are skipped like out-of-prefix commit records.
+		t := db.tables[ir.Table]
+		if t == nil {
+			return nil
+		}
+		i := t.st.Schema().ColumnIndex(ir.Column)
+		if i < 0 {
+			return nil
+		}
+		if ir.Drop {
+			t.cols[i].idx.Store(nil)
+		} else if kind := IndexKind(ir.Kind); kind.Valid() {
+			t.cols[i].idx.Store(index.New(kind, 0))
+		}
+		return nil
 	}); err != nil {
 		return fmt.Errorf("ankerdb: recovery: schema log: %w", err)
 	}
@@ -408,6 +436,11 @@ func (db *DB) recover() error {
 	// (floor 0: chains are empty after recovery, nothing is reclaimed
 	// that the arrays don't already show).
 	db.recomputeZones(0)
+	// Secondary indexes rebuild from the same recovered arrays — the
+	// durable prefix, torn tails already cut — so post-recovery probes
+	// match scans at every timestamp (index_db.go documents the
+	// rebuild-vs-log trade).
+	db.rebuildIndexes()
 	db.oracle.Seed(maxTS)
 	db.recoveredTxns = replayed
 	db.recoveredLoads = loads

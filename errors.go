@@ -56,6 +56,18 @@ var (
 	// queries execute against a pinned snapshot generation, which only
 	// OLAP transactions hold.
 	ErrNotOLAP = errors.New("ankerdb: queries require an OLAP transaction")
+
+	// ErrIndexExists is returned by CreateIndex when the column already
+	// has a secondary index.
+	ErrIndexExists = errors.New("ankerdb: index already exists")
+
+	// ErrNoIndex is returned by DropIndex when the column has no
+	// secondary index.
+	ErrNoIndex = errors.New("ankerdb: no index on column")
+
+	// ErrIndexKind is returned by CreateIndex for an index kind that is
+	// neither Hash nor Ordered.
+	ErrIndexKind = errors.New("ankerdb: invalid index kind")
 )
 
 // errRowRange builds the named ErrRowRange error for (table, column,

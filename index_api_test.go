@@ -1,0 +1,577 @@
+package ankerdb_test
+
+// Secondary-index acceptance: schema-declared and online-built indexes
+// must answer Lookup/Filter/query probes with EXACTLY what the
+// visibility-filtered scan path returns — under churn (Insert/Delete/
+// Set), across every snapshot strategy, after crash recovery (torn
+// tail included) — and absence reads above the table's capacity must
+// conflict with concurrent growth into that range.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ankerdb"
+)
+
+// idxSchema declares the index test table: hash on uid, ordered on
+// score, an unindexed payload.
+func idxSchema() ankerdb.Schema {
+	return ankerdb.NewSchema("u").
+		Int64("uid").Indexed(ankerdb.Hash).
+		Int64("score").Indexed(ankerdb.Ordered).
+		Int64("pad").
+		Build()
+}
+
+const idxRows = 512
+
+func openIndexDB(t *testing.T, strat ankerdb.SnapshotStrategy, opts ...ankerdb.Option) *ankerdb.DB {
+	t.Helper()
+	db, err := ankerdb.Open(append([]ankerdb.Option{
+		ankerdb.WithSnapshotStrategy(strat),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithInitialSchema(idxSchema(), idxRows),
+	}, opts...)...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", strat, err)
+	}
+	return db
+}
+
+// seedIndexTable gives the initial rows distinct uid/score values.
+func seedIndexTable(t *testing.T, db *ankerdb.DB) {
+	t.Helper()
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < idxRows; row++ {
+		if err := w.Set("u", "uid", row, int64(row%40)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Set("u", "score", row, int64(row%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, w)
+}
+
+// scanGroundTruth computes the rows of tab whose col value lies in
+// [lo, hi] through Get alone — no Filter, no index — as the oracle the
+// index path is compared against.
+func scanGroundTruth(t *testing.T, txn *ankerdb.Txn, col string, lo, hi int64) []int {
+	t.Helper()
+	rows := []int{}
+	for row := 0; ; row++ {
+		v, err := txn.Get("u", col, row)
+		if err != nil {
+			if errors.Is(err, ankerdb.ErrRowNotVisible) {
+				continue
+			}
+			if errors.Is(err, ankerdb.ErrRowRange) {
+				return rows
+			}
+			t.Fatalf("Get(%s, %d): %v", col, row, err)
+		}
+		if v >= lo && v <= hi {
+			rows = append(rows, row)
+		}
+	}
+}
+
+func eqRows(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSchemaBuilderDeclaresIndexes: the fluent builder and the literal
+// form produce the same schema, and declared indexes come up live.
+func TestSchemaBuilderDeclaresIndexes(t *testing.T) {
+	built := idxSchema()
+	literal := ankerdb.Schema{Table: "u", Columns: []ankerdb.ColumnDef{
+		{Name: "uid", Type: ankerdb.Int64, Index: ankerdb.Hash},
+		{Name: "score", Type: ankerdb.Int64, Index: ankerdb.Ordered},
+		{Name: "pad", Type: ankerdb.Int64},
+	}}
+	if fmt.Sprint(built) != fmt.Sprint(literal) {
+		t.Fatalf("builder schema %v != literal %v", built, literal)
+	}
+	db := openIndexDB(t, ankerdb.Physical)
+	defer db.Close()
+	if n := db.Stats().IndexEntries; n != 2*idxRows {
+		t.Fatalf("IndexEntries = %d, want %d (two indexes over %d rows)", n, 2*idxRows, idxRows)
+	}
+}
+
+// TestIndexEquivalenceUnderChurn is the acceptance bar: while writers
+// insert, delete and update, index-backed equality and range reads
+// must equal the scan path — byte for byte, on the same snapshot —
+// under every strategy.
+func TestIndexEquivalenceUnderChurn(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openIndexDB(t, strat)
+			defer db.Close()
+			seedIndexTable(t, db)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rnd := uint64(g + 1)
+					var mine []int
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						rnd = rnd*6364136223846793005 + 1442695040888963407
+						w, err := db.Begin(ankerdb.OLTP)
+						if err != nil {
+							return
+						}
+						switch {
+						case i%3 == 0:
+							row, err := w.Insert("u", map[string]any{
+								"uid": int64(rnd % 40), "score": int64(rnd % 100),
+							})
+							if err == nil && w.Commit() == nil {
+								mine = append(mine, row)
+							} else {
+								w.Abort()
+							}
+						case i%3 == 1 && len(mine) > 0:
+							row := mine[len(mine)-1]
+							if w.Delete("u", row) == nil && w.Commit() == nil {
+								mine = mine[:len(mine)-1]
+							} else {
+								w.Abort()
+							}
+						default:
+							row := int(rnd % idxRows)
+							if w.Set("u", "score", row, int64(rnd%100)) != nil || w.Commit() != nil {
+								w.Abort()
+							}
+						}
+					}
+				}(g)
+			}
+
+			for iter := 0; iter < 30; iter++ {
+				r, err := db.Begin(ankerdb.OLAP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				uid := int64(iter % 40)
+				q := func(force bool) []int64 {
+					b := r.Query("u").Where(ankerdb.Eq("uid", uid)).Select(ankerdb.RowID)
+					if force {
+						b = b.WithoutPruning()
+					}
+					res, err := b.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res.Ints(0)
+				}
+				viaIndex, viaScan := q(false), q(true)
+				if fmt.Sprint(viaIndex) != fmt.Sprint(viaScan) {
+					t.Fatalf("uid=%d: index %v != scan %v", uid, viaIndex, viaScan)
+				}
+				lo, hi := int64(iter%90), int64(iter%90+9)
+				b := r.Query("u").Where(ankerdb.Between("score", lo, hi)).Select(ankerdb.RowID)
+				res1, err := b.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res2, err := r.Query("u").Where(ankerdb.Between("score", lo, hi)).
+					Select(ankerdb.RowID).WithoutPruning().Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(res1.Ints(0)) != fmt.Sprint(res2.Ints(0)) {
+					t.Fatalf("score [%d,%d]: index %v != scan %v", lo, hi, res1.Ints(0), res2.Ints(0))
+				}
+				_ = r.Commit()
+			}
+			close(stop)
+			wg.Wait()
+
+			if st := db.Stats(); st.IndexBackedQueries == 0 || st.IndexProbes == 0 {
+				t.Fatalf("index never engaged: %+v probes, %d backed queries", st.IndexProbes, st.IndexBackedQueries)
+			}
+		})
+	}
+}
+
+// TestLookupOLTPStagedOverlay: an OLTP Lookup sees the transaction's
+// own staged writes — Sets moving rows into and out of the probed
+// value, staged inserts, staged deletes — layered over the committed
+// index.
+func TestLookupOLTPStagedOverlay(t *testing.T) {
+	db := openIndexDB(t, ankerdb.VMSnap)
+	defer db.Close()
+	seedIndexTable(t, db)
+
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	// Committed state: uid == 7 at rows 7, 47, 87, ...
+	if err := w.Set("u", "uid", 7, 999); err != nil { // move row 7 out
+		t.Fatal(err)
+	}
+	if err := w.Set("u", "uid", 0, 7); err != nil { // move row 0 in
+		t.Fatal(err)
+	}
+	if err := w.Delete("u", 47); err != nil { // delete an in-range row
+		t.Fatal(err)
+	}
+	ins, err := w.Insert("u", map[string]any{"uid": int64(7)}) // staged insert in range
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Lookup("u", "uid", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanGroundTruth(t, w, "uid", 7, 7)
+	if !eqRows(got, want) {
+		t.Fatalf("Lookup overlay mismatch: got %v want %v", got, want)
+	}
+	found := false
+	for _, r := range got {
+		if r == ins {
+			found = true
+		}
+		if r == 7 || r == 47 {
+			t.Fatalf("row %d should have left the lookup set: %v", r, got)
+		}
+	}
+	if !found {
+		t.Fatalf("staged insert %d missing from %v", ins, got)
+	}
+}
+
+// TestLookupPhantomConflict: a Lookup records its equality as a
+// precision-locking predicate, so a concurrent commit writing the
+// probed value aborts the looker.
+func TestLookupPhantomConflict(t *testing.T) {
+	db := openIndexDB(t, ankerdb.Physical)
+	defer db.Close()
+	seedIndexTable(t, db)
+
+	a, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lookup("u", "uid", 7); err != nil {
+		t.Fatal(err)
+	}
+	set(t, db, "u", "uid", 200, 7) // a phantom enters the probed value
+	if err := a.Set("u", "pad", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("Commit after phantom = %v, want ErrConflict", err)
+	}
+}
+
+// TestCreateDropIndexOnline: an index built online over live data
+// serves the same rows the scan does; dropping it falls back cleanly;
+// the DDL errors are well-typed.
+func TestCreateDropIndexOnline(t *testing.T) {
+	db, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(ankerdb.Rewired),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithInitialSchema(ankerdb.Schema{Table: "u", Columns: []ankerdb.ColumnDef{
+			{Name: "uid", Type: ankerdb.Int64},
+			{Name: "score", Type: ankerdb.Int64},
+			{Name: "pad", Type: ankerdb.Int64},
+		}}, idxRows),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seedIndexTable(t, db)
+	insertRow := func(uid int64) {
+		w, _ := db.Begin(ankerdb.OLTP)
+		if _, err := w.Insert("u", map[string]any{"uid": uid}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, w)
+	}
+	insertRow(7)
+
+	if err := db.CreateIndex("u", "uid", ankerdb.IndexKind(99)); !errors.Is(err, ankerdb.ErrIndexKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	if err := db.CreateIndex("u", "uid", ankerdb.Hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("u", "uid", ankerdb.Ordered); !errors.Is(err, ankerdb.ErrIndexExists) {
+		t.Fatalf("double create: %v", err)
+	}
+	insertRow(7) // maintained after the online build
+
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Lookup("u", "uid", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanGroundTruth(t, w, "uid", 7, 7)
+	if !eqRows(got, want) {
+		t.Fatalf("online-built index: got %v want %v", got, want)
+	}
+	w.Abort()
+	if db.Stats().IndexProbes == 0 {
+		t.Fatal("lookup did not probe the online-built index")
+	}
+
+	if err := db.DropIndex("u", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndex("u", "uid"); !errors.Is(err, ankerdb.ErrNoIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+	w2, _ := db.Begin(ankerdb.OLTP)
+	got2, err := w2.Lookup("u", "uid", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eqRows(got2, want) {
+		t.Fatalf("post-drop scan fallback: got %v want %v", got2, want)
+	}
+	w2.Abort()
+}
+
+// TestIndexRecovery: declared and online-created indexes survive a
+// crash — the DDL replays from the schema log, the entries rebuild
+// from the recovered arrays — and keep matching the scan path. The
+// torn-tail variant cuts the newest WAL segment mid-record first.
+func TestIndexRecovery(t *testing.T) {
+	for _, tear := range []bool{false, true} {
+		name := "clean"
+		if tear {
+			name = "tornTail"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := ankerdb.Open(
+				ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+				ankerdb.WithCostModel(ankerdb.ZeroCost),
+				ankerdb.WithCommitShards(1),
+				ankerdb.WithDurability(dir),
+				ankerdb.WithInitialSchema(idxSchema(), idxRows),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedIndexTable(t, db)
+			if err := db.CreateIndex("u", "pad", ankerdb.Ordered); err != nil {
+				t.Fatal(err)
+			}
+			var rows []int
+			for i := 0; i < 8; i++ {
+				w, _ := db.Begin(ankerdb.OLTP)
+				row, err := w.Insert("u", map[string]any{"uid": int64(7), "score": int64(i), "pad": int64(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustCommit(t, w)
+				rows = append(rows, row)
+			}
+			w, _ := db.Begin(ankerdb.OLTP)
+			if err := w.Delete("u", rows[2]); err != nil {
+				t.Fatal(err)
+			}
+			mustCommit(t, w)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if tear {
+				tearNewestSegment(t, dir)
+			}
+
+			db2, err := ankerdb.Open(
+				ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+				ankerdb.WithCostModel(ankerdb.ZeroCost),
+				ankerdb.WithCommitShards(1),
+				ankerdb.WithDurability(dir),
+				ankerdb.WithInitialSchema(idxSchema(), idxRows),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			if db2.Stats().IndexEntries == 0 {
+				t.Fatal("no index entries rebuilt at recovery")
+			}
+			r, err := db2.Begin(ankerdb.OLTP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Abort()
+			for _, probe := range []struct {
+				col    string
+				lo, hi int64
+			}{{"uid", 7, 7}, {"score", 2, 5}, {"pad", 1, 6}} {
+				got, err := r.Filter("u", probe.col, probe.lo, probe.hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := scanGroundTruth(t, r, probe.col, probe.lo, probe.hi)
+				if !eqRows(got, want) {
+					t.Fatalf("%s [%d,%d] after recovery: got %v want %v",
+						probe.col, probe.lo, probe.hi, got, want)
+				}
+			}
+			if db2.Stats().IndexProbes == 0 {
+				t.Fatal("recovered indexes never probed")
+			}
+		})
+	}
+}
+
+// TestIndexDropSurvivesRecovery: a dropped index stays dropped after
+// reopen (the drop DDL outweighs the declaration in the schema log).
+func TestIndexDropSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(ankerdb.Physical),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithDurability(dir),
+		ankerdb.WithInitialSchema(idxSchema(), idxRows),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndex("u", "uid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(ankerdb.Physical),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithDurability(dir),
+		ankerdb.WithInitialSchema(idxSchema(), idxRows),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.DropIndex("u", "uid"); !errors.Is(err, ankerdb.ErrNoIndex) {
+		t.Fatalf("dropped index resurrected: %v", err)
+	}
+	if err := db2.DropIndex("u", "score"); err != nil {
+		t.Fatalf("declared index lost: %v", err)
+	}
+}
+
+// TestAbsenceAboveCapacityConflictsWithGrow is the write-skew
+// regression: a transaction that observed ErrRowRange above the
+// table's capacity acted on an absence, so a concurrent Insert growing
+// the table into that very row must abort it at validation — under
+// every strategy.
+func TestAbsenceAboveCapacityConflictsWithGrow(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openTestDB(t, strat)
+			defer db.Close()
+			capacity := db.Stats().TableCapacity
+
+			grow := func() {
+				w, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for {
+					row, err := w.Insert("acct", map[string]any{"bal": int64(1)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if row >= capacity {
+						break
+					}
+				}
+				mustCommit(t, w)
+			}
+
+			// Control: a writer that never observed the absence commits
+			// fine across the concurrent growth.
+			ctl, err := db.Begin(ankerdb.OLTP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ctl.Set("acct", "flags", 1, 1); err != nil {
+				t.Fatal(err)
+			}
+
+			a, err := db.Begin(ankerdb.OLTP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Get("acct", "bal", capacity); !errors.Is(err, ankerdb.ErrRowRange) {
+				t.Fatalf("Get above capacity = %v, want ErrRowRange", err)
+			}
+			grow() // births row `capacity` concurrently
+			if err := a.Set("acct", "flags", 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+				t.Fatalf("absence reader committed across growth: %v, want ErrConflict", err)
+			}
+			if err := ctl.Commit(); err != nil {
+				t.Fatalf("control writer aborted: %v", err)
+			}
+		})
+	}
+}
+
+// TestQueryLimitFacade: Limit through the public Query API returns the
+// deterministic prefix and exits early on large tables.
+func TestQueryLimitFacade(t *testing.T) {
+	db := openIndexDB(t, ankerdb.Fork)
+	defer db.Close()
+	seedIndexTable(t, db)
+
+	full, err := db.Query("u").Where(ankerdb.Ge("score", 50)).Select(ankerdb.RowID).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim, err := db.Query("u").Where(ankerdb.Ge("score", 50)).Select(ankerdb.RowID).Limit(10).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Len() != 10 {
+		t.Fatalf("Limit(10) returned %d rows", lim.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if lim.At(i, 0) != full.At(i, 0) {
+			t.Fatalf("row %d: limited %d != full %d", i, lim.At(i, 0), full.At(i, 0))
+		}
+	}
+	if _, err := db.Query("u").Limit(0).Run(); err == nil {
+		t.Fatal("Limit(0) accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package ankerdb
+
+import (
+	"fmt"
+
+	"ankerdb/internal/index"
+	"ankerdb/internal/storage"
+)
+
+// Secondary-index DDL and (re)build paths. The durability model is
+// rebuild-at-recovery: index *entries* are never WAL-logged — commits
+// pay zero extra log bytes for maintenance — and recovery instead
+// rebuilds every index deterministically from the recovered column and
+// visibility arrays after replay (durability.go). What is persisted is
+// the *existence* of an index: schema-declared indexes ride the table
+// record, online CreateIndex/DropIndex append index-DDL records to the
+// same never-truncated schema log. The trade against logging entries:
+// recovery pays one O(rows) pass per indexed column, which streams the
+// same arrays rebuildRowState already touched, in exchange for a
+// commit path whose WAL traffic is completely unchanged.
+
+// buildColumnIndex builds an index over c's current contents. Each
+// entry copies its row's actual birth/death extent, so a probe at any
+// servable timestamp answers row visibility exactly like the
+// visibility arrays would. Rows already dead at or below minTS are
+// skipped — no servable reader can see them.
+//
+// The caller must exclude concurrent installs into c (all shard locks
+// held, or single-threaded recovery/creation). Rows merely *reserved*
+// by in-flight inserts are still unborn (birth NeverTS) and skipped;
+// their birth install happens after the build publishes, under the
+// shard lock, and maintains the index like any other commit.
+func buildColumnIndex(c *column, kind IndexKind, minTS uint64) *index.Index {
+	ix := index.New(kind, minTS)
+	birth, death := c.tab.st.Birth(), c.tab.st.Death()
+	capacity := c.tab.st.Capacity()
+	for row := 0; row < capacity; row++ {
+		b := birth.GetU(row)
+		if b == storage.NeverTS {
+			continue // unborn, reserved, or reclaimed
+		}
+		d := death.GetU(row)
+		if d != 0 && d <= minTS {
+			continue // dead below every servable timestamp
+		}
+		ix.Insert(c.data.Get(row), row, b, d)
+	}
+	return ix
+}
+
+// reindexColumn rebuilds c's index (if any) from scratch after a bulk
+// load replaced the column's contents. The build floor moves up to the
+// current completed timestamp: generations pinned before the load fall
+// back to the scan path, which reads the same post-load arrays, so the
+// two paths stay in agreement.
+func (db *DB) reindexColumn(c *column) {
+	old := c.idx.Load()
+	if old == nil {
+		return
+	}
+	db.lockAllShards()
+	c.idx.Store(buildColumnIndex(c, old.Kind(), db.oracle.Completed()))
+	db.unlockAllShards()
+}
+
+// CreateIndex builds a secondary index of the given kind over an
+// existing column, online: the build runs under every shard commit
+// lock (commit installation is quiescent, so the captured state is
+// exactly the completed prefix), publishes the index, and from then on
+// commits maintain it inside their critical section. Transactions
+// running during the build are unaffected — readers at timestamps
+// below the build floor simply keep scanning.
+func (db *DB) CreateIndex(tab, col string, kind IndexKind) error {
+	if !kind.Valid() {
+		return fmt.Errorf("%w: %d", ErrIndexKind, kind)
+	}
+	c, err := db.lookup(tab, col)
+	if err != nil {
+		return err
+	}
+	db.lockAllShards()
+	if c.idx.Load() != nil {
+		db.unlockAllShards()
+		return fmt.Errorf("%w: %s.%s", ErrIndexExists, tab, col)
+	}
+	// Under all shard locks the completed watermark equals the maximum
+	// assigned timestamp: every commit at or below it is fully
+	// installed, every later one will run after the index publishes.
+	// Values displaced before the build live only in version chains the
+	// build cannot see — hence the floor.
+	minTS := db.oracle.Completed()
+	c.idx.Store(buildColumnIndex(c, kind, minTS))
+	db.unlockAllShards()
+	if db.wal != nil && !db.recovering {
+		return db.wal.AppendIndexDDL(wrecIndexDDL(tab, col, kind, false))
+	}
+	return nil
+}
+
+// DropIndex removes the column's secondary index. In-flight probes
+// holding the old structure finish against it — its entries stay
+// valid — and later lookups fall back to the scan path.
+func (db *DB) DropIndex(tab, col string) error {
+	c, err := db.lookup(tab, col)
+	if err != nil {
+		return err
+	}
+	if old := c.idx.Swap(nil); old == nil {
+		return fmt.Errorf("%w: %s.%s", ErrNoIndex, tab, col)
+	}
+	if db.wal != nil && !db.recovering {
+		return db.wal.AppendIndexDDL(wrecIndexDDL(tab, col, NoIndex, true))
+	}
+	return nil
+}
+
+// rebuildIndexes gives every surviving index its contents after
+// recovery replay: the recovered arrays reflect exactly the durable
+// prefix (including a torn tail cut off by rebuildRowState), version
+// chains are empty, and nothing runs concurrently — so a full rebuild
+// at floor 0 is deterministic and exact at every timestamp.
+func (db *DB) rebuildIndexes() {
+	for _, t := range db.tabList {
+		for _, c := range t.cols {
+			if old := c.idx.Load(); old != nil {
+				c.idx.Store(buildColumnIndex(c, old.Kind(), 0))
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func kinds() []Kind { return []Kind{Hash, Ordered} }
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Hash: "hash", Ordered: "ordered", Kind(9): "invalid"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if None.Valid() || Kind(9).Valid() {
+		t.Error("None/invalid must not be Valid")
+	}
+	if !Hash.Valid() || !Ordered.Valid() {
+		t.Error("Hash/Ordered must be Valid")
+	}
+}
+
+func probeEq(t *testing.T, ix *Index, val int64, ts uint64) []int {
+	t.Helper()
+	rows, ok := ix.ProbeEq(val, ts)
+	if !ok {
+		t.Fatalf("ProbeEq(%d, %d) not servable", val, ts)
+	}
+	return rows
+}
+
+func TestAddProbeVisibility(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		ix.Add(7, 3, 10) // row 3 carries 7 from ts 10
+		ix.Add(7, 1, 20)
+		ix.Add(9, 2, 10)
+
+		if got := probeEq(t, ix, 7, 5); len(got) != 0 {
+			t.Errorf("%v: probe before birth = %v, want empty", k, got)
+		}
+		if got := probeEq(t, ix, 7, 10); !reflect.DeepEqual(got, []int{3}) {
+			t.Errorf("%v: probe at birth = %v, want [3]", k, got)
+		}
+		if got := probeEq(t, ix, 7, 25); !reflect.DeepEqual(got, []int{1, 3}) {
+			t.Errorf("%v: probe = %v, want [1 3] ascending", k, got)
+		}
+
+		// Value change: kill the old association at the same ts that
+		// births the new one; exactly one entry visible on either side.
+		if !ix.Kill(7, 3, 30) {
+			t.Fatalf("%v: Kill missed live entry", k)
+		}
+		ix.Add(8, 3, 30)
+		if got := probeEq(t, ix, 7, 29); !reflect.DeepEqual(got, []int{1, 3}) {
+			t.Errorf("%v: pre-change probe = %v, want [1 3]", k, got)
+		}
+		if got := probeEq(t, ix, 7, 30); !reflect.DeepEqual(got, []int{1}) {
+			t.Errorf("%v: post-change probe = %v, want [1]", k, got)
+		}
+		if got := probeEq(t, ix, 8, 30); !reflect.DeepEqual(got, []int{3}) {
+			t.Errorf("%v: new value probe = %v, want [3]", k, got)
+		}
+		if ix.Kill(7, 3, 40) {
+			t.Errorf("%v: Kill found an already-dead entry", k)
+		}
+		if ix.Len() != 4 {
+			t.Errorf("%v: Len = %d, want 4", k, ix.Len())
+		}
+	}
+}
+
+func TestMinTSGate(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 100)
+		ix.Insert(5, 0, 50, 0)
+		if ix.Valid(99) {
+			t.Errorf("%v: Valid(99) below floor", k)
+		}
+		if !ix.Valid(100) {
+			t.Errorf("%v: Valid(100) must hold at floor", k)
+		}
+		if _, ok := ix.ProbeEq(5, 99); ok {
+			t.Errorf("%v: probe below floor served", k)
+		}
+		if rows, ok := ix.ProbeEq(5, 100); !ok || !reflect.DeepEqual(rows, []int{0}) {
+			t.Errorf("%v: probe at floor = %v/%v, want [0]/true", k, rows, ok)
+		}
+	}
+}
+
+func TestHashDeclinesRange(t *testing.T) {
+	ix := New(Hash, 0)
+	ix.Add(5, 0, 1)
+	if _, ok := ix.ProbeRange(1, 9, 10); ok {
+		t.Error("hash index served a true range probe")
+	}
+	if rows, ok := ix.ProbeRange(5, 5, 10); !ok || !reflect.DeepEqual(rows, []int{0}) {
+		t.Errorf("hash point range = %v/%v, want [0]/true", rows, ok)
+	}
+	if _, ok := ix.EstimateRange(1, 9); ok {
+		t.Error("hash index estimated a true range")
+	}
+	if n, ok := ix.EstimateRange(5, 5); !ok || n != 1 {
+		t.Errorf("hash point estimate = %d/%v, want 1/true", n, ok)
+	}
+}
+
+func TestOrderedRangeAcrossRuns(t *testing.T) {
+	// Enough entries to force buffer flushes and geometric merges.
+	ix := New(Ordered, 0)
+	const n = 10 * bufMax
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, row := range perm {
+		ix.Add(int64(row%100), row, 1)
+	}
+	for _, val := range []int64{0, 42, 99} {
+		want := make([]int, 0, n/100)
+		for row := 0; row < n; row++ {
+			if int64(row%100) == val {
+				want = append(want, row)
+			}
+		}
+		if got := probeEq(t, ix, val, 1); !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %d: got %d rows, want %d", val, len(got), len(want))
+		}
+	}
+	inRange := 0
+	for row := 0; row < n; row++ {
+		if m := row % 100; m >= 10 && m <= 19 {
+			inRange++
+		}
+	}
+	rows, ok := ix.ProbeRange(10, 19, 1)
+	if !ok || len(rows) != inRange {
+		t.Fatalf("range probe = %d rows/%v, want %d/true", len(rows), ok, inRange)
+	}
+	if !sort.IntsAreSorted(rows) {
+		t.Fatal("range probe rows not ascending")
+	}
+	if est, ok := ix.EstimateRange(10, 19); !ok || est != inRange {
+		t.Fatalf("EstimateRange = %d/%v, want %d/true", est, ok, inRange)
+	}
+	if est, ok := ix.EstimateRange(200, 300); !ok || est != 0 {
+		t.Fatalf("empty EstimateRange = %d/%v, want 0/true", est, ok)
+	}
+}
+
+func TestInsertCopiesExtent(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		ix.Insert(5, 0, 10, 20) // row dead at 20: build copied its death
+		if got := probeEq(t, ix, 5, 15); !reflect.DeepEqual(got, []int{0}) {
+			t.Errorf("%v: mid-extent probe = %v, want [0]", k, got)
+		}
+		if got := probeEq(t, ix, 5, 20); len(got) != 0 {
+			t.Errorf("%v: probe at death = %v, want empty", k, got)
+		}
+	}
+}
+
+func TestProbeAtMaxTS(t *testing.T) {
+	// OLTP lookups probe at MaxUint64: live entries only.
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		ix.Add(5, 0, 10)
+		ix.Add(5, 1, 10)
+		ix.Kill(5, 0, 20)
+		if got := probeEq(t, ix, 5, math.MaxUint64); !reflect.DeepEqual(got, []int{1}) {
+			t.Errorf("%v: live probe = %v, want [1]", k, got)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		ix.Add(1, 0, 10)
+		ix.Kill(1, 0, 20)
+		ix.Add(2, 0, 20)
+		ix.Add(1, 1, 10)
+		ix.Kill(1, 1, 50)
+		if removed := ix.Prune(30); removed != 1 {
+			t.Fatalf("%v: Prune(30) removed %d, want 1 (only the ts-20 death)", k, removed)
+		}
+		if ix.Len() != 2 {
+			t.Fatalf("%v: Len after prune = %d, want 2", k, ix.Len())
+		}
+		// The entry dead at 50 survives floor 30 and stays visible below 50.
+		if got := probeEq(t, ix, 1, 40); !reflect.DeepEqual(got, []int{1}) {
+			t.Fatalf("%v: post-prune probe = %v, want [1]", k, got)
+		}
+		if removed := ix.Prune(50); removed != 1 {
+			t.Fatalf("%v: Prune(50) removed %d, want 1", k, removed)
+		}
+	}
+}
+
+func TestConcurrentMaintenanceAndProbes(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := w * 1000
+				for i := 0; i < 1000; i++ {
+					ix.Add(int64(i%7), base+i, uint64(i+1))
+					if i%3 == 0 {
+						ix.Kill(int64(i%7), base+i, uint64(i+2))
+					}
+				}
+			}(w)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 200; i++ {
+				ix.ProbeEq(int64(i%7), uint64(i))
+				ix.Len()
+			}
+		}()
+		wg.Wait()
+		<-done
+		if got := ix.Len(); got != 4000 {
+			t.Fatalf("%v: Len = %d, want 4000", k, got)
+		}
+	}
+}

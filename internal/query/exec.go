@@ -31,8 +31,9 @@ type ExecStats struct {
 	MorselsSkipped int64 // morsels whose every block was pruned
 	BlocksScanned  int64 // probe blocks read
 	BlocksSkipped  int64 // probe blocks pruned by zone maps
-	RowsScanned    int64 // rows of scanned probe blocks
+	RowsScanned    int64 // rows of scanned probe blocks, or rows read via index
 	RowsEmitted    int64 // rows in the final result
+	IndexProbes    int64 // secondary-index probes that replaced the probe scan
 }
 
 func (s *ExecStats) add(o *ExecStats) {
@@ -42,6 +43,7 @@ func (s *ExecStats) add(o *ExecStats) {
 	s.BlocksSkipped += o.BlocksSkipped
 	s.RowsScanned += o.RowsScanned
 	s.RowsEmitted += o.RowsEmitted
+	s.IndexProbes += o.IndexProbes
 }
 
 // srcProbe marks a slot read from the probe (scanned) table; any other
@@ -87,7 +89,11 @@ type plan struct {
 	aggs       []boundAgg
 	outSlots   []int // projection, when not aggregating
 	morsels    int
+	limit      int
 	noPrune    bool
+
+	idxRows []int64 // index-probe result replacing the scan; nil = scan
+	useIdx  bool    // idxRows is authoritative (it may be empty)
 }
 
 // Builder assembles a query against a probe table. Methods return the
@@ -100,6 +106,7 @@ type Builder struct {
 	aggs     []AggSpec
 	sel      []string
 	morsels  int
+	limit    int
 	noPrune  bool
 	firstErr error
 }
@@ -165,8 +172,24 @@ func (b *Builder) Morsels(n int) *Builder {
 	return b
 }
 
-// WithoutPruning disables zone-map pruning (every block is scanned);
-// useful to verify pruning and to measure its benefit.
+// Limit caps the result to its first n rows — the same n rows the
+// unlimited query would return first, so the result stays
+// deterministic. Non-aggregating queries stop dispatching morsels once
+// a contiguous prefix of merged morsels holds n rows; aggregating
+// queries still see every row (an aggregate needs them) and only trim
+// the laid-out groups.
+func (b *Builder) Limit(n int) *Builder {
+	if n <= 0 {
+		return b.fail(fmt.Errorf("query: Limit(%d), want a positive row count", n))
+	}
+	b.limit = n
+	return b
+}
+
+// WithoutPruning disables zone-map pruning (every block is scanned)
+// and index probes (the scan path runs even over an indexed column);
+// useful to verify both against the plain scan and to measure their
+// benefit.
 func (b *Builder) WithoutPruning() *Builder {
 	b.noPrune = true
 	return b
@@ -257,7 +280,7 @@ func (bd *binder) encodeSlot(slot int, s string) (int64, bool) {
 // the scan, a join's build side, or the post-join filter, and fixes
 // the output schema.
 func (b *Builder) bind() (*plan, error) {
-	p := &plan{probe: b.probe, joins: b.joins, morsels: b.morsels, noPrune: b.noPrune}
+	p := &plan{probe: b.probe, joins: b.joins, morsels: b.morsels, limit: b.limit, noPrune: b.noPrune}
 	if p.morsels < 1 {
 		p.morsels = runtime.GOMAXPROCS(0)
 	}
@@ -426,6 +449,7 @@ func (p *plan) run() (*Result, error) {
 			return nil, err
 		}
 	}
+	p.routeIndex()
 
 	bound := p.probe.Rows()
 	morselRows := p.probe.BlockRows() * morselBlocks
@@ -448,6 +472,10 @@ func (p *plan) run() (*Result, error) {
 	} else {
 		perMorsel = make([][][]int64, nM)
 	}
+	var lim *limiter
+	if p.limit > 0 && !aggregating {
+		lim = newLimiter(int64(p.limit), nM)
+	}
 
 	var next atomic.Int64
 	wstats := make([]ExecStats, workers)
@@ -457,7 +485,7 @@ func (p *plan) run() (*Result, error) {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			errs[wi] = p.worker(&next, nM, morselRows, bound, &wstats[wi], aggsW[wi], perMorsel)
+			errs[wi] = p.worker(&next, nM, morselRows, bound, &wstats[wi], aggsW[wi], perMorsel, lim)
 		}(wi)
 	}
 	wg.Wait()
@@ -471,13 +499,86 @@ func (p *plan) run() (*Result, error) {
 	for i := range wstats {
 		res.Stats.add(&wstats[i])
 	}
+	if p.useIdx {
+		res.Stats.IndexProbes++
+	}
 	if aggregating {
 		p.finalizeAgg(res, aggsW)
 	} else {
 		p.finalizeRows(res, perMorsel)
 	}
+	if p.limit > 0 && res.Len() > p.limit {
+		for i := range res.data {
+			res.data[i] = res.data[i][:p.limit]
+		}
+	}
 	res.Stats.RowsEmitted = int64(res.Len())
 	return res, nil
+}
+
+// routeIndex offers the scan conjuncts to the probe table's secondary
+// indexes: the first interval leaf on a probe column an index agrees to
+// serve replaces the morsel scan with a direct read of the probed rows.
+// The full scan predicate still filters downstream, so serving one
+// conjunct of several is enough; declining (selectivity, kind, build
+// floor) is the table's call. WithoutPruning forces the scan path.
+func (p *plan) routeIndex() {
+	if p.noPrune || p.scanPred == nil {
+		return
+	}
+	it, ok := p.probe.(IndexedTable)
+	if !ok {
+		return
+	}
+	for i := range p.scanPred.kids {
+		k := &p.scanPred.kids[i]
+		if k.op != pCmp || k.lo > k.hi {
+			continue
+		}
+		if sl := p.slots[k.col]; sl.src != srcProbe || sl.col < 0 {
+			continue
+		}
+		if rows, served := it.ProbeIndex(p.slots[k.col].col, k.lo, k.hi); served {
+			p.idxRows, p.useIdx = rows, true
+			return
+		}
+	}
+}
+
+// limiter coordinates early exit for Limit(n): sources stop claiming
+// morsels once a contiguous prefix of finished morsels already holds n
+// output rows — everything the result can need. Each morsel is
+// finished exactly once, by the worker that claimed it (or by the
+// source itself when the morsel surfaces no batch).
+type limiter struct {
+	n    int64
+	stop atomic.Bool
+
+	mu     sync.Mutex
+	counts []int64
+	done   []bool
+	next   int   // first unfinished morsel
+	acc    int64 // output rows in the finished contiguous prefix
+}
+
+func newLimiter(n int64, nM int) *limiter {
+	return &limiter{n: n, counts: make([]int64, nM), done: make([]bool, nM)}
+}
+
+// finish records that morsel m produced rows output rows, advancing the
+// contiguous-prefix watermark and flipping stop once it covers n rows.
+func (l *limiter) finish(m int, rows int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counts[m], l.done[m] = rows, true
+	for l.next < len(l.done) && l.done[l.next] {
+		l.acc += l.counts[l.next]
+		l.next++
+		if l.acc >= l.n {
+			l.stop.Store(true)
+			return
+		}
+	}
 }
 
 // isBareCount reports whether the plan is COUNT(*) over the unfiltered
@@ -492,24 +593,50 @@ func (p *plan) isBareCount() bool {
 // agg is nil for non-aggregating queries, in which case output rows
 // land in perMorsel[morsel]; each morsel is claimed by exactly one
 // worker, so slots of perMorsel are never written concurrently.
-func (p *plan) worker(next *atomic.Int64, nM, morselRows, bound int, st *ExecStats, agg *aggregator, perMorsel [][][]int64) error {
-	var op Op = newScanOp(p, next, nM, morselRows, bound, st)
+//
+// With a limiter, every operator passes empty batches through instead
+// of swallowing them, so the worker sees each claimed morsel surface
+// at least once and can report its output count — a morsel's batches
+// are consecutive within its worker, so a morsel-number change (or end
+// of stream) marks the previous morsel finished.
+func (p *plan) worker(next *atomic.Int64, nM, morselRows, bound int, st *ExecStats, agg *aggregator, perMorsel [][][]int64, lim *limiter) error {
+	var op Op
+	if p.useIdx {
+		op = newIndexScanOp(p, next, nM, morselRows, st, lim)
+	} else {
+		op = newScanOp(p, next, nM, morselRows, bound, st, lim)
+	}
+	passEmpty := lim != nil
 	if p.scanPred != nil {
-		op = &filterOp{child: op, pred: p.scanPred}
+		op = &filterOp{child: op, pred: p.scanPred, passEmpty: passEmpty}
 	}
 	for _, j := range p.joins {
-		op = &joinOp{child: op, j: j, cap: morselRows}
+		op = &joinOp{child: op, j: j, cap: morselRows, passEmpty: passEmpty}
 	}
 	if p.postPred != nil {
-		op = &filterOp{child: op, pred: p.postPred}
+		op = &filterOp{child: op, pred: p.postPred, passEmpty: passEmpty}
 	}
+	cur, cnt := -1, int64(0)
 	for {
 		b, err := op.Next()
 		if err != nil {
 			return err
 		}
 		if b == nil {
+			if lim != nil && cur >= 0 {
+				lim.finish(cur, cnt)
+			}
 			return nil
+		}
+		if lim != nil && b.Morsel != cur {
+			if cur >= 0 {
+				lim.finish(cur, cnt)
+			}
+			cur, cnt = b.Morsel, 0
+		}
+		cnt += int64(b.N)
+		if b.N == 0 {
+			continue
 		}
 		if agg != nil {
 			agg.add(b)

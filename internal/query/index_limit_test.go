@@ -1,0 +1,164 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// idxMemTable implements IndexedTable over a memTable: one column is
+// "indexed", probes answer from the raw data (visibility-filtered like
+// a real index would be), and the fixture records whether a probe was
+// served — letting the tests pin down exactly when the engine routes
+// through the index.
+type idxMemTable struct {
+	*memTable
+	idxCol  int
+	probes  int
+	decline bool
+}
+
+func (m *idxMemTable) ProbeIndex(col int, lo, hi int64) ([]int64, bool) {
+	if m.decline || col != m.idxCol {
+		return nil, false
+	}
+	m.probes++
+	var rows []int64
+	for r, v := range m.data[col] {
+		if v >= lo && v <= hi && !m.deleted[r] {
+			rows = append(rows, int64(r))
+		}
+	}
+	return rows, true
+}
+
+func (m *idxMemTable) ReadRows(rows []int64, cols []int, out [][]int64) error {
+	for i, c := range cols {
+		for k, r := range rows {
+			out[i][k] = m.data[c][r]
+		}
+	}
+	return nil
+}
+
+// TestIndexRouteMatchesScan: the same query must return identical
+// results whether the probe scan ran or an index probe replaced it —
+// including deleted rows, extra conjuncts the index does not serve,
+// and a downstream join.
+func TestIndexRouteMatchesScan(t *testing.T) {
+	base := ordersTable(64, 8)
+	base.deleted[17] = true
+	base.deleted[30] = true
+	m := &idxMemTable{memTable: base, idxCol: 1} // index on "g"
+
+	build := func() *Builder {
+		return New(m).
+			Where(And(Eq("g", 2), Gt("k", 8))).
+			Join(custTable(), "cust", "id").
+			Select("k", RowID, "credit").Morsels(3)
+	}
+	idx := runQ(t, build())
+	scan := runQ(t, build().WithoutPruning())
+
+	if idx.Stats.IndexProbes != 1 {
+		t.Fatalf("IndexProbes = %d, want 1", idx.Stats.IndexProbes)
+	}
+	if scan.Stats.IndexProbes != 0 {
+		t.Fatalf("WithoutPruning still probed the index (%d)", scan.Stats.IndexProbes)
+	}
+	if idx.Stats.BlocksScanned != 0 {
+		t.Fatalf("index route scanned %d blocks", idx.Stats.BlocksScanned)
+	}
+	for c := 0; c < 3; c++ {
+		if !reflect.DeepEqual(idx.Ints(c), scan.Ints(c)) {
+			t.Fatalf("column %d diverges:\nindex: %v\nscan:  %v", c, idx.Ints(c), scan.Ints(c))
+		}
+	}
+}
+
+// TestIndexRouteRespectsDecline: a table declining the probe (or a
+// predicate with no indexable conjunct) leaves the scan path in
+// charge.
+func TestIndexRouteRespectsDecline(t *testing.T) {
+	m := &idxMemTable{memTable: ordersTable(32, 8), idxCol: 1, decline: true}
+	r := runQ(t, New(m).Where(Eq("g", 1)).Select(RowID))
+	if r.Stats.IndexProbes != 0 || m.probes != 0 {
+		t.Fatalf("declined probe still counted: stats=%d table=%d", r.Stats.IndexProbes, m.probes)
+	}
+	m.decline = false
+	r = runQ(t, New(m).Where(Eq("v", 7)).Select(RowID)) // "v" is not the indexed column
+	if r.Stats.IndexProbes != 0 {
+		t.Fatalf("probe served for unindexed column")
+	}
+}
+
+// TestLimitDeterministicPrefix: Limit(n) must return exactly the first
+// n rows of the unlimited result, for every n, on both the scan and
+// the index route, with filters and joins in the pipeline.
+func TestLimitDeterministicPrefix(t *testing.T) {
+	base := ordersTable(200, 4) // 50 blocks, many morsels
+	base.deleted[8] = true
+	m := &idxMemTable{memTable: base, idxCol: 1}
+
+	shapes := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"scan", func() *Builder { return New(m).Where(Gt("k", 20)).Select("k", RowID).Morsels(4).WithoutPruning() }},
+		{"index", func() *Builder { return New(m).Where(Eq("g", 3)).Select("k", RowID).Morsels(4) }},
+		{"join", func() *Builder {
+			return New(m).Where(Eq("g", 1)).Join(custTable(), "cust", "id").Select("k", "credit").Morsels(4).WithoutPruning()
+		}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			full := runQ(t, sh.build())
+			for _, n := range []int{1, 3, full.Len() - 1, full.Len(), full.Len() + 50} {
+				if n <= 0 {
+					continue
+				}
+				lim := runQ(t, sh.build().Limit(n))
+				want := n
+				if want > full.Len() {
+					want = full.Len()
+				}
+				if lim.Len() != want {
+					t.Fatalf("Limit(%d): %d rows, want %d", n, lim.Len(), want)
+				}
+				for c := range lim.Columns() {
+					if !reflect.DeepEqual(lim.Ints(c), full.Ints(c)[:want]) {
+						t.Fatalf("Limit(%d) column %d is not the prefix:\nlimit: %v\nfull:  %v",
+							n, c, lim.Ints(c), full.Ints(c)[:want])
+					}
+				}
+				if lim.Stats.RowsEmitted != int64(want) {
+					t.Fatalf("Limit(%d): RowsEmitted = %d", n, lim.Stats.RowsEmitted)
+				}
+			}
+		})
+	}
+}
+
+// TestLimitAggregateTrimsGroups: aggregating queries cannot exit early
+// (every row feeds the aggregate) but still trim the laid-out groups.
+func TestLimitAggregateTrimsGroups(t *testing.T) {
+	m := ordersTable(64, 8)
+	full := runQ(t, New(m).GroupBy("g").Aggregate(Count()))
+	lim := runQ(t, New(m).GroupBy("g").Aggregate(Count()).Limit(2))
+	if lim.Len() != 2 {
+		t.Fatalf("limited groups = %d, want 2", lim.Len())
+	}
+	for c := 0; c < 2; c++ {
+		if !reflect.DeepEqual(lim.Ints(c), full.Ints(c)[:2]) {
+			t.Fatalf("group prefix diverges in column %d", c)
+		}
+	}
+}
+
+func TestLimitRejectsNonPositive(t *testing.T) {
+	if _, err := New(ordersTable(8, 8)).Limit(0).Run(); err == nil {
+		t.Fatal("Limit(0) accepted")
+	}
+	if _, err := New(ordersTable(8, 8)).Limit(-3).Run(); err == nil {
+		t.Fatal("Limit(-3) accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package query
 
-import "sync/atomic"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Op is one streaming operator of a per-worker pipeline. Next returns
 // the operator's next batch, or nil at end of stream. A returned batch
@@ -29,13 +32,15 @@ type scanOp struct {
 	views  [][]int64 // scratch: per-call windows into batch columns
 	batch  Batch
 	st     *ExecStats
+	lim    *limiter // early exit for Limit; nil without one
 }
 
-func newScanOp(p *plan, next *atomic.Int64, nM, morselRows, bound int, st *ExecStats) *scanOp {
+func newScanOp(p *plan, next *atomic.Int64, nM, morselRows, bound int, st *ExecStats, lim *limiter) *scanOp {
 	s := &scanOp{
 		p: p, next: next, nM: nM, morselRows: morselRows, bound: bound,
 		rowIDs: make([]int64, morselRows),
 		st:     st,
+		lim:    lim,
 	}
 	s.batch.Cols = make([][]int64, len(p.slots))
 	for i, sl := range p.slots {
@@ -57,6 +62,9 @@ func newScanOp(p *plan, next *atomic.Int64, nM, morselRows, bound int, st *ExecS
 func (s *scanOp) Next() (*Batch, error) {
 	br := s.p.probe.BlockRows()
 	for {
+		if s.lim != nil && s.lim.stop.Load() {
+			return nil, nil
+		}
 		m := int(s.next.Add(1) - 1)
 		if m >= s.nM {
 			return nil, nil
@@ -93,6 +101,11 @@ func (s *scanOp) Next() (*Batch, error) {
 			s.st.MorselsSkipped++
 		}
 		if n == 0 {
+			// The morsel surfaces no batch; report it finished here so
+			// the limiter's watermark can pass it.
+			if s.lim != nil {
+				s.lim.finish(m, 0)
+			}
 			continue
 		}
 		for _, slot := range s.idSlots {
@@ -122,12 +135,98 @@ func (s *scanOp) prunable(blk, blo, bhi int) bool {
 	})
 }
 
+// indexScanOp is the pipeline source when an index probe replaced the
+// block scan: the probed rows (ascending) are partitioned by the same
+// morsel numbering the scan would use, workers claim morsels from the
+// same shared dispatcher, and each claimed morsel's rows are resolved
+// through the table's snapshot read path. Identical morsel numbering
+// keeps the merged result byte-for-byte what the scan path returns.
+type indexScanOp struct {
+	p          *plan
+	t          IndexedTable
+	next       *atomic.Int64
+	nM         int
+	morselRows int
+	rows       []int64 // probed rows, strictly ascending
+
+	readSlots []int
+	readCols  []int
+	idSlots   []int
+
+	views [][]int64
+	batch Batch
+	st    *ExecStats
+	lim   *limiter
+}
+
+func newIndexScanOp(p *plan, next *atomic.Int64, nM, morselRows int, st *ExecStats, lim *limiter) *indexScanOp {
+	s := &indexScanOp{
+		p: p, t: p.probe.(IndexedTable), next: next, nM: nM, morselRows: morselRows,
+		rows: p.idxRows, st: st, lim: lim,
+	}
+	s.batch.Cols = make([][]int64, len(p.slots))
+	for i, sl := range p.slots {
+		if sl.src != srcProbe {
+			continue
+		}
+		s.batch.Cols[i] = make([]int64, morselRows)
+		if sl.col < 0 {
+			s.idSlots = append(s.idSlots, i)
+		} else {
+			s.readSlots = append(s.readSlots, i)
+			s.readCols = append(s.readCols, sl.col)
+		}
+	}
+	s.views = make([][]int64, len(s.readSlots))
+	return s
+}
+
+func (s *indexScanOp) Next() (*Batch, error) {
+	for {
+		if s.lim != nil && s.lim.stop.Load() {
+			return nil, nil
+		}
+		m := int(s.next.Add(1) - 1)
+		if m >= s.nM {
+			return nil, nil
+		}
+		s.st.Morsels++
+		lo, hi := int64(m*s.morselRows), int64((m+1)*s.morselRows)
+		a := sort.Search(len(s.rows), func(i int) bool { return s.rows[i] >= lo })
+		b := a + sort.Search(len(s.rows)-a, func(i int) bool { return s.rows[a+i] >= hi })
+		if a == b {
+			s.st.MorselsSkipped++
+			if s.lim != nil {
+				s.lim.finish(m, 0)
+			}
+			continue
+		}
+		seg := s.rows[a:b]
+		n := len(seg)
+		for i, slot := range s.readSlots {
+			s.views[i] = s.batch.Cols[slot][:n]
+		}
+		if err := s.t.ReadRows(seg, s.readCols, s.views); err != nil {
+			return nil, err
+		}
+		for _, slot := range s.idSlots {
+			copy(s.batch.Cols[slot][:n], seg)
+		}
+		s.st.RowsScanned += int64(n)
+		s.batch.Morsel, s.batch.N = m, n
+		return &s.batch, nil
+	}
+}
+
 // filterOp drops the rows of its child's batches that fail the bound
 // predicate, compacting survivors in place (the child rewrites the
-// batch on its next Next call anyway).
+// batch on its next Next call anyway). In passEmpty mode (limited
+// queries) a batch filtered down to nothing is returned empty instead
+// of swallowed, so the worker still observes its morsel.
 type filterOp struct {
-	child Op
-	pred  *boundPred
+	child     Op
+	pred      *boundPred
+	passEmpty bool
 }
 
 func (f *filterOp) Next() (*Batch, error) {
@@ -152,7 +251,7 @@ func (f *filterOp) Next() (*Batch, error) {
 			}
 			n++
 		}
-		if n > 0 {
+		if n > 0 || f.passEmpty {
 			b.N = n
 			return b, nil
 		}
@@ -165,9 +264,10 @@ func (f *filterOp) Next() (*Batch, error) {
 // to its matches. Output batches never span child batches, so rows
 // stay grouped by morsel and result order stays deterministic.
 type joinOp struct {
-	child Op
-	j     *joinPlan
-	cap   int
+	child     Op
+	j         *joinPlan
+	cap       int
+	passEmpty bool // surface match-less batches (limited queries)
 
 	pending *Batch // current child batch, nil when drained
 	pi      int    // probe row cursor in pending
@@ -211,7 +311,7 @@ func (o *joinOp) Next() (*Batch, error) {
 			o.pi++
 		}
 		o.pending = nil
-		if o.out.N > 0 {
+		if o.out.N > 0 || o.passEmpty {
 			return &o.out, nil
 		}
 	}

@@ -56,6 +56,31 @@ type Table interface {
 	ReadBlock(lo, hi int, cols []int, rowIDs []int64, out [][]int64) (int, error)
 }
 
+// IndexedTable is an optional Table extension: implementations that
+// maintain secondary indexes can answer a single-column range probe
+// without scanning. The engine type-asserts the probe table and, when
+// a scan conjunct is the interval [lo, hi] on one probe column, offers
+// it to ProbeIndex; a served probe replaces the block scan with a
+// direct read of the returned rows (the full scan predicate is still
+// applied, so a probe may over-approximate but must never miss a
+// matching visible row).
+type IndexedTable interface {
+	Table
+
+	// ProbeIndex returns the visible rows (strictly ascending) whose
+	// col value lies in [lo, hi] at the pinned snapshot. ok is false
+	// when no index can serve the probe — no index on col, an
+	// equality-only index asked a true range, a snapshot below the
+	// index's build floor, or an estimated result too large for the
+	// probe to beat the scan. Called after Prepare, before ReadRows.
+	ProbeIndex(col int, lo, hi int64) (rows []int64, ok bool)
+
+	// ReadRows resolves cols' snapshot values of the given ascending
+	// visible rows: out[i] receives the values of cols[i], parallel to
+	// rows. Slices hold at least len(rows) entries.
+	ReadRows(rows []int64, cols []int, out [][]int64) error
+}
+
 // Batch is one unit of streamed rows between operators: column-major,
 // one slice per pipeline schema slot. Slots not yet produced (a join's
 // build columns before the join ran) are nil. Operators own their

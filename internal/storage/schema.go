@@ -1,6 +1,10 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"ankerdb/internal/index"
+)
 
 // Type is the logical type of a column. Every type is physically a
 // 64-bit word; the Type governs encoding and rendering.
@@ -31,10 +35,13 @@ func (t Type) String() string {
 	}
 }
 
-// ColumnDef declares one column of a schema.
+// ColumnDef declares one column of a schema. A non-zero Index declares
+// a secondary index of that kind, built when the table is created and
+// maintained transactionally from then on.
 type ColumnDef struct {
-	Name string
-	Type Type
+	Name  string
+	Type  Type
+	Index index.Kind
 }
 
 // Schema declares a table layout.
@@ -68,6 +75,9 @@ func (s Schema) Validate() error {
 		}
 		if seen[c.Name] {
 			return fmt.Errorf("storage: table %q: duplicate column %q", s.Table, c.Name)
+		}
+		if c.Index != index.None && !c.Index.Valid() {
+			return fmt.Errorf("storage: table %q: column %q: invalid index kind %d", s.Table, c.Name, c.Index)
 		}
 		seen[c.Name] = true
 	}

@@ -238,15 +238,16 @@ func TestPropertyDictBijective(t *testing.T) {
 }
 
 func TestSchemaValidate(t *testing.T) {
-	ok := Schema{Table: "t", Columns: []ColumnDef{{"a", Int64}, {"b", Varchar}}}
+	ok := Schema{Table: "t", Columns: []ColumnDef{{Name: "a", Type: Int64}, {Name: "b", Type: Varchar}}}
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid schema rejected: %v", err)
 	}
 	bad := []Schema{
-		{Table: "", Columns: []ColumnDef{{"a", Int64}}},
+		{Table: "", Columns: []ColumnDef{{Name: "a", Type: Int64}}},
 		{Table: "t"},
-		{Table: "t", Columns: []ColumnDef{{"", Int64}}},
-		{Table: "t", Columns: []ColumnDef{{"a", Int64}, {"a", Date}}},
+		{Table: "t", Columns: []ColumnDef{{Name: "", Type: Int64}}},
+		{Table: "t", Columns: []ColumnDef{{Name: "a", Type: Int64}, {Name: "a", Type: Date}}},
+		{Table: "t", Columns: []ColumnDef{{Name: "a", Type: Int64, Index: 9}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -425,7 +426,7 @@ func TestExtentRejectsBadChunkRows(t *testing.T) {
 
 func TestTableGrowth(t *testing.T) {
 	p := newProc()
-	schema := Schema{Table: "g", Columns: []ColumnDef{{"a", Int64}, {"b", Varchar}}}
+	schema := Schema{Table: "g", Columns: []ColumnDef{{Name: "a", Type: Int64}, {Name: "b", Type: Varchar}}}
 	tab, err := NewTable(p, schema, 100, DefaultColumnAlloc(p))
 	if err != nil {
 		t.Fatal(err)

@@ -74,9 +74,13 @@ type LoadRecord struct {
 
 // ColumnDef mirrors the storage schema column declaration in a form
 // the wal package can persist without importing the storage package.
+// Index is the declared secondary-index kind (0 = none); it rides the
+// table record as a trailing extension, so logs written before index
+// support decode with Index 0 everywhere.
 type ColumnDef struct {
-	Name string
-	Type uint8
+	Name  string
+	Type  uint8
+	Index uint8
 }
 
 // TableRecord is one schema-log entry: a table created during the
@@ -304,7 +308,10 @@ func decodeLoad(payload []byte) (LoadRecord, error) {
 	return rec, d.err
 }
 
-// encode serialises the table record payload.
+// encode serialises the table record payload. The per-column index
+// kinds trail the original layout so that pre-index schema logs stay
+// decodable: a decoder that runs out of payload after the columns
+// simply leaves every Index at 0.
 func (r TableRecord) encode(dst []byte) []byte {
 	e := encoder{b: dst}
 	e.str(r.Name)
@@ -313,6 +320,9 @@ func (r TableRecord) encode(dst []byte) []byte {
 	for _, c := range r.Columns {
 		e.str(c.Name)
 		e.u8(c.Type)
+	}
+	for _, c := range r.Columns {
+		e.u8(c.Index)
 	}
 	return e.b
 }
@@ -327,5 +337,62 @@ func decodeTable(payload []byte) (TableRecord, error) {
 	for i := 0; i < int(n); i++ {
 		rec.Columns = append(rec.Columns, ColumnDef{Name: d.str(), Type: d.u8()})
 	}
+	if d.err == nil && len(d.b) >= len(rec.Columns) {
+		// Trailing index-kind extension (absent in pre-index logs).
+		for i := range rec.Columns {
+			rec.Columns[i].Index = d.u8()
+		}
+	}
 	return rec, d.err
+}
+
+// indexDDLMarker distinguishes index-DDL records from table records in
+// the shared schema log: a table record's payload begins with the u32
+// length of the table name, which can never be 0xFFFFFFFF.
+const indexDDLMarker uint32 = 0xFFFFFFFF
+
+// IndexDDLRecord is one online CreateIndex (Drop false) or DropIndex
+// (Drop true) appended to the schema log. Like table records these are
+// never truncated: replaying the full schema log in order yields the
+// set of indexes alive at crash time, whose *contents* recovery then
+// rebuilds from the recovered column and visibility arrays (index
+// entries themselves are deliberately not logged — see the trade
+// documented in the root package's index_db.go).
+type IndexDDLRecord struct {
+	Table  string
+	Column string
+	Kind   uint8
+	Drop   bool
+}
+
+func (r IndexDDLRecord) encode(dst []byte) []byte {
+	e := encoder{b: dst}
+	e.u32(indexDDLMarker)
+	if r.Drop {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.str(r.Table)
+	e.str(r.Column)
+	e.u8(r.Kind)
+	return e.b
+}
+
+func decodeIndexDDL(payload []byte) (IndexDDLRecord, error) {
+	d := decoder{b: payload}
+	if m := d.u32(); d.err == nil && m != indexDDLMarker {
+		return IndexDDLRecord{}, fmt.Errorf("wal: index-DDL marker %#x, want %#x", m, indexDDLMarker)
+	}
+	rec := IndexDDLRecord{Drop: d.u8() != 0}
+	rec.Table = d.str()
+	rec.Column = d.str()
+	rec.Kind = d.u8()
+	return rec, d.err
+}
+
+// isIndexDDL reports whether a schema-log payload is an index-DDL
+// record (as opposed to a table record).
+func isIndexDDL(payload []byte) bool {
+	return len(payload) >= 4 && binary.LittleEndian.Uint32(payload) == indexDDLMarker
 }

@@ -347,6 +347,29 @@ func (l *Log) AppendTable(rec TableRecord) error {
 	return nil
 }
 
+// AppendIndexDDL appends an online CreateIndex/DropIndex record to the
+// schema log, fsynced like table records (DDL is rare). The schema log
+// is never truncated, so index existence survives every checkpoint.
+func (l *Log) AppendIndexDDL(rec IndexDDLRecord) error {
+	if err := l.usable(); err != nil {
+		return err
+	}
+	l.schemaMu.Lock()
+	defer l.schemaMu.Unlock()
+	buf := appendFrame(nil, rec.encode(nil))
+	if _, err := l.schema.Write(buf); err != nil {
+		return l.poison(err)
+	}
+	l.bytes.Add(uint64(len(buf)))
+	if l.policy == SyncNone {
+		return nil
+	}
+	if err := l.sync(l.schema); err != nil {
+		return l.poison(err)
+	}
+	return nil
+}
+
 // replayBufSize is the bufio window streaming replay reads through:
 // together with the largest single record frame it bounds recovery's
 // transient memory, independent of segment or checkpoint size.
@@ -430,19 +453,37 @@ func (l *Log) replayFile(path string, withHeader bool, fn func(payload []byte) e
 	}
 }
 
-// ReplayTables streams every schema-log record to fn in append order
-// (original table-index order), stopping at a torn tail.
+// ReplayTables streams every schema-log table record to fn in append
+// order (original table-index order), stopping at a torn tail.
+// Index-DDL records interleaved in the log are skipped; use
+// ReplaySchema to observe both kinds in order.
 func (l *Log) ReplayTables(fn func(TableRecord) error) error {
+	return l.ReplaySchema(fn, func(IndexDDLRecord) error { return nil })
+}
+
+// ReplaySchema streams every schema-log record in append order: table
+// records to onTable, index-DDL records to onIndex. Replaying both in
+// order yields the tables in original index order and the set of
+// secondary indexes alive when the log was last written.
+func (l *Log) ReplaySchema(onTable func(TableRecord) error, onIndex func(IndexDDLRecord) error) error {
 	path := filepath.Join(l.dir, "schema.log")
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		return nil
 	}
 	return l.replayFile(path, false, func(payload []byte) error {
+		// CRC passed, so a malformed payload below is real corruption.
+		if isIndexDDL(payload) {
+			rec, err := decodeIndexDDL(payload)
+			if err != nil {
+				return err
+			}
+			return onIndex(rec)
+		}
 		rec, err := decodeTable(payload)
 		if err != nil {
-			return err // CRC passed but payload malformed: real corruption
+			return err
 		}
-		return fn(rec)
+		return onTable(rec)
 	})
 }
 

@@ -218,7 +218,7 @@ func TestLoadOnlySegmentTruncated(t *testing.T) {
 }
 
 func TestTableRecordRoundtrip(t *testing.T) {
-	rec := TableRecord{Name: "acct", Rows: 4096, Columns: []ColumnDef{{"id", 0}, {"name", 3}}}
+	rec := TableRecord{Name: "acct", Rows: 4096, Columns: []ColumnDef{{Name: "id", Type: 0, Index: 2}, {Name: "name", Type: 3}}}
 	got, err := decodeTable(rec.encode(nil))
 	if err != nil {
 		t.Fatalf("decode: %v", err)
@@ -370,8 +370,8 @@ func TestSchemaLogReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []TableRecord{
-		{Name: "a", Rows: 16, Columns: []ColumnDef{{"x", 0}}},
-		{Name: "b", Rows: 32, Columns: []ColumnDef{{"y", 3}, {"z", 1}}},
+		{Name: "a", Rows: 16, Columns: []ColumnDef{{Name: "x", Type: 0}}},
+		{Name: "b", Rows: 32, Columns: []ColumnDef{{Name: "y", Type: 3}, {Name: "z", Type: 1}}},
 	}
 	for _, r := range want {
 		if err := l.AppendTable(r); err != nil {

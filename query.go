@@ -153,8 +153,21 @@ func (q *Query) Morsels(n int) *Query {
 	return q
 }
 
-// WithoutPruning disables zone-map pruning (every block is scanned);
-// useful to verify pruning and to measure its benefit.
+// Limit caps the result to its first n rows — the same n rows the
+// unlimited query would return first, so the result stays
+// deterministic. Non-aggregating queries stop dispatching scan morsels
+// as soon as a contiguous prefix of merged morsels covers n rows.
+func (q *Query) Limit(n int) *Query {
+	if q.err == nil {
+		q.b.Limit(n)
+	}
+	return q
+}
+
+// WithoutPruning disables zone-map pruning (every block is scanned)
+// and secondary-index probes (the scan path runs even over an indexed
+// column); useful to verify both against the plain scan and to measure
+// their benefit.
 func (q *Query) WithoutPruning() *Query {
 	if q.err == nil {
 		q.b.WithoutPruning()
@@ -178,5 +191,9 @@ func (q *Query) Run() (*QueryResult, error) {
 	st.queriesRun.Add(1)
 	st.zoneSkipped.Add(uint64(res.Stats.BlocksSkipped))
 	st.zoneScanned.Add(uint64(res.Stats.BlocksScanned))
+	if res.Stats.IndexProbes > 0 {
+		st.indexProbes.Add(uint64(res.Stats.IndexProbes))
+		st.indexQueries.Add(1)
+	}
 	return res, nil
 }

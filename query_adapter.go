@@ -209,4 +209,52 @@ func (s *snapTable) fillColumn(ci int, rowIDs []int64, out []int64) {
 	}
 }
 
-var _ query.Table = (*snapTable)(nil)
+// indexProbeDen gates index probes on selectivity: a probe whose raw
+// entry estimate exceeds 1/indexProbeDen of the scan bound is declined
+// — reading that many rows point-wise loses to the sequential block
+// scan, and the zone maps still help the scan.
+const indexProbeDen = 4
+
+// ProbeIndex answers a single-column range probe from the column's
+// secondary index, when one exists and agrees to serve it (see
+// index.Index.ProbeRange): entries carry the same birth/death commit
+// timestamps as the visibility arrays, so probing at the generation's
+// timestamp yields exactly the rows a scan would surface. Called after
+// Prepare (the scan bound gates selectivity); snapshots pinned below
+// the index's build floor fall back to the scan.
+func (s *snapTable) ProbeIndex(ci int, lo, hi int64) ([]int64, bool) {
+	ix := s.tab.cols[ci].idx.Load()
+	if ix == nil || !ix.Valid(s.gen.ts) {
+		return nil, false
+	}
+	est, ok := ix.EstimateRange(lo, hi)
+	if !ok || est*indexProbeDen > s.bound {
+		return nil, false
+	}
+	rows, ok := ix.ProbeRange(lo, hi, s.gen.ts)
+	if !ok {
+		return nil, false
+	}
+	out := make([]int64, 0, len(rows))
+	for _, r := range rows {
+		if r < s.bound {
+			out = append(out, int64(r))
+		}
+	}
+	return out, true
+}
+
+// ReadRows resolves the probed rows' values through the same
+// snapshot-resolution path ReadBlock uses; the rows were
+// visibility-filtered by the probe itself.
+func (s *snapTable) ReadRows(rows []int64, cols []int, out [][]int64) error {
+	for i, ci := range cols {
+		s.fillColumn(ci, rows, out[i])
+	}
+	return nil
+}
+
+var (
+	_ query.Table        = (*snapTable)(nil)
+	_ query.IndexedTable = (*snapTable)(nil)
+)

@@ -76,6 +76,13 @@ type Stats struct {
 	ZoneMapSkippedChunks uint64
 	ZoneMapScannedChunks uint64
 
+	// Secondary indexes.
+	IndexProbes uint64 // index probes served (engine routing + Txn.Lookup/Filter)
+	// IndexBackedQueries counts engine queries whose probe scan was
+	// replaced by an index probe (a subset of QueriesRun).
+	IndexBackedQueries uint64
+	IndexEntries       int64 // live entries summed over every secondary index
+
 	// Growable tables (Txn.Insert / Txn.Delete).
 	RowInserts    uint64 // rows transactionally born (committed inserts)
 	RowDeletes    uint64 // rows transactionally killed (committed deletes)
@@ -149,6 +156,9 @@ func (db *DB) Stats() Stats {
 		ZoneMapSkippedChunks: db.st.zoneSkipped.Load(),
 		ZoneMapScannedChunks: db.st.zoneScanned.Load(),
 
+		IndexProbes:        db.st.indexProbes.Load(),
+		IndexBackedQueries: db.st.indexQueries.Load(),
+
 		RowInserts:    db.st.rowInserts.Load(),
 		RowDeletes:    db.st.rowDeletes.Load(),
 		RowsReclaimed: db.st.rowsReclaimed.Load(),
@@ -190,6 +200,9 @@ func (db *DB) Stats() Stats {
 	for _, t := range tabs {
 		for _, c := range t.cols {
 			s.VersionNodes += c.chain.Nodes()
+			if ix := c.idx.Load(); ix != nil {
+				s.IndexEntries += int64(ix.Len())
+			}
 		}
 		s.TableCapacity += t.st.Capacity()
 		t.amu.Lock()

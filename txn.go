@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ankerdb/internal/mvcc"
 )
@@ -285,6 +286,9 @@ func (t *Txn) Delete(tab string, row int) error {
 		return err
 	}
 	if row < 0 || row >= tb.st.Capacity() {
+		if row >= 0 {
+			t.noteAbsence(tb, row) // see readable: above-capacity is an absence read
+		}
 		return errRowRange(tab, "", row, tb.st.Capacity())
 	}
 	if t.state.RowInserted(tb.idx, row) {
@@ -322,8 +326,21 @@ func (t *Txn) Scan(tab, col string) ([]int64, error) {
 	return out, err
 }
 
+// Lookup returns the rows whose col equals v as of the transaction's
+// read timestamp, ascending. With a secondary index on col (hash or
+// ordered) the lookup probes it instead of scanning; either way the
+// result is exactly what a visibility-filtered scan would return. OLTP
+// lookups see their own staged writes and record the equality as a
+// precision-locking predicate, so a concurrent commit writing v into
+// col aborts them at Commit.
+func (t *Txn) Lookup(tab, col string, v int64) ([]int, error) {
+	return t.Filter(tab, col, v, v)
+}
+
 // Filter returns the rows whose value lies in [lo, hi] as of the
-// transaction's read timestamp. OLTP transactions record the range as a
+// transaction's read timestamp, ascending. An ordered secondary index
+// on col (or, for an equality range, a hash index) serves the filter
+// without a scan — see Lookup. OLTP transactions record the range as a
 // precision-locking predicate, so a concurrent commit into the range
 // aborts them at Commit.
 func (t *Txn) Filter(tab, col string, lo, hi int64) ([]int, error) {
@@ -343,6 +360,9 @@ func (t *Txn) Filter(tab, col string, lo, hi int64) ([]int, error) {
 		return rows, nil
 	}
 	t.state.NotePredicate(mvcc.Predicate{Col: c.id, Lo: lo, Hi: hi})
+	if rows, ok := t.indexFilter(c, lo, hi); ok {
+		return rows, nil
+	}
 	var rows []int
 	err = t.scanColumn(c, func(row int, v int64) {
 		if v >= lo && v <= hi {
@@ -350,6 +370,65 @@ func (t *Txn) Filter(tab, col string, lo, hi int64) ([]int, error) {
 		}
 	})
 	return rows, err
+}
+
+// indexFilter answers an OLTP range filter from col's secondary index
+// when one can serve it. The probe runs at the begin timestamp —
+// entries carry the same commit timestamps as the visibility arrays,
+// so it returns exactly the committed rows a scan would surface — and
+// the transaction's own staged state is overlaid on top: staged
+// deletes drop rows, staged writes move rows out of or into the range,
+// staged inserts contribute theirs. ok is false (fall back to the
+// scan) without an index, when a hash index is asked a true range, or
+// when the begin timestamp predates the index's build floor.
+func (t *Txn) indexFilter(c *column, lo, hi int64) ([]int, bool) {
+	ix := c.idx.Load()
+	if ix == nil || !ix.Valid(t.state.Begin) {
+		return nil, false
+	}
+	probed, ok := ix.ProbeRange(lo, hi, t.state.Begin)
+	if !ok {
+		return nil, false
+	}
+	t.db.st.indexProbes.Add(1)
+	if !t.state.HasWrites() && !t.state.HasRowOpsFor(c.tab.idx) {
+		return probed, true
+	}
+	rows := probed[:0]
+	for _, row := range probed {
+		if t.state.RowDeleted(c.tab.idx, row) {
+			continue
+		}
+		if v, staged := t.state.StagedValue(c.id, row); staged && (v < lo || v > hi) {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	// Staged writes the committed index can't know about: an in-range
+	// value Set over an out-of-range committed one, or a staged
+	// insert's column value. A non-insert staged write targets a row
+	// that was committed-visible at begin (writable checks), so its
+	// committed value tells whether the probe already returned it.
+	added := false
+	t.state.EachWrite(func(col mvcc.ColumnID, row int, val int64) {
+		if col != c.id || val < lo || val > hi {
+			return
+		}
+		if !t.oltpRowVisible(c.tab, row) {
+			return
+		}
+		if !t.state.RowInserted(c.tab.idx, row) {
+			if cv := c.valueAt(row, t.state.Begin); cv >= lo && cv <= hi {
+				return // the probe covered it
+			}
+		}
+		rows = append(rows, row)
+		added = true
+	})
+	if added {
+		sort.Ints(rows)
+	}
+	return rows, true
 }
 
 // Agg selects the aggregate Aggregate computes.
@@ -536,6 +615,13 @@ func (t *Txn) readable(tab, col string, row int) (*column, error) {
 		return nil, err
 	}
 	if cap := c.tab.st.Capacity(); row < 0 || row >= cap {
+		if t.class == OLTP && row >= 0 {
+			// A row above the current capacity is another absence
+			// observation: a concurrent Insert may grow the table into
+			// that very slot, and a transaction acting on the ErrRowRange
+			// it saw must conflict with that commit (see noteAbsence).
+			t.noteAbsence(c.tab, row)
+		}
 		return nil, errRowRange(tab, col, row, cap)
 	}
 	return c, nil
