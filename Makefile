@@ -10,7 +10,7 @@ GO ?= go
 # throughput as commits_per_sec, so one gate metric covers every bench.
 BENCH_GATE_ARGS := -quick -bench commit,grow,query,index -format json
 
-.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline
+.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/ankerbench $(BENCH_GATE_ARGS) > bench-current.json
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.json -current bench-current.json
+
+# metrics-smoke starts the observability endpoint under a mixed
+# workload, scrapes /metrics over HTTP mid-stress and at quiescence,
+# and fails unless every key ankerdb_* series is present. Writes the
+# final scrape and a flight-recorder dump beside the repo root.
+metrics-smoke:
+	$(GO) run ./cmd/metricssmoke -dur 2s -out metrics-dump.txt -trace trace-dump.txt
 
 # cover runs the test suite with coverage and writes cover.out plus the
 # HTML report CI uploads as an artifact.

@@ -76,7 +76,58 @@ var (
 	flagZeroCost   = flag.Bool("zerocost", false, "disable the simulated kernel cost model")
 	flagFormat     = flag.String("format", "text", "output format: text, csv, json")
 	flagQuick      = flag.Bool("quick", false, "CI smoke preset: small columns, short durations")
+	flagStats      = flag.String("stats", "", "write each benchmark's final engine Stats snapshot (histograms included) plus derived metrics as JSON to this path")
 )
+
+// statsDump collects, per benchmark, the Stats snapshot of the last
+// configuration it measured, written as JSON by -stats so trajectory
+// tooling can pick up zone-skip% and commit-phase tail latencies
+// without re-parsing the flat record stream.
+var statsDump = map[string]statsEntry{}
+
+type statsEntry struct {
+	Stats   ankerdb.Stats      `json:"stats"`
+	Derived map[string]float64 `json:"derived"`
+}
+
+// captureStats derives the headline observability numbers from a
+// benchmark's final Stats snapshot and retains both for -stats.
+func captureStats(bench string, s ankerdb.Stats) {
+	if *flagStats == "" {
+		return
+	}
+	d := map[string]float64{
+		"commit_validate_p99_ns":  float64(s.CommitValidateHist.Quantile(0.99).Nanoseconds()),
+		"commit_install_p99_ns":   float64(s.CommitInstallHist.Quantile(0.99).Nanoseconds()),
+		"commit_fsync_p99_ns":     float64(s.CommitFsyncHist.Quantile(0.99).Nanoseconds()),
+		"commit_lock_wait_p99_ns": float64(s.CommitLockWaitHist.Quantile(0.99).Nanoseconds()),
+		"snapshot_create_p99_ns":  float64(s.SnapshotCreateHist.Quantile(0.99).Nanoseconds()),
+		"query_exec_p99_ns":       float64(s.QueryExecHist.Quantile(0.99).Nanoseconds()),
+	}
+	if total := s.ZoneMapScannedChunks + s.ZoneMapSkippedChunks; total > 0 {
+		d["zone_skip_pct"] = 100 * float64(s.ZoneMapSkippedChunks) / float64(total)
+	}
+	if n := s.GroupCommitSize.Observations(); n > 0 {
+		d["mean_batch_size"] = float64(s.Commits+s.Conflicts) / float64(n)
+	}
+	statsDump[bench] = statsEntry{Stats: s, Derived: d}
+}
+
+// writeStatsDump writes the collected snapshots to -stats.
+func writeStatsDump(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("stats: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(statsDump); err != nil {
+		fail("stats: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("stats: %v", err)
+	}
+}
 
 // record is one measured metric in the flat schema shared by the CSV
 // and JSON outputs. Shards, Writers, Scanners and Touch are -1 when the
@@ -188,6 +239,9 @@ func main() {
 	}
 	if benches["index"] {
 		benchIndex(strats)
+	}
+	if *flagStats != "" {
+		writeStatsDump(*flagStats)
 	}
 	flush()
 }
@@ -407,6 +461,7 @@ func benchMixed(strats []ankerdb.SnapshotStrategy) {
 		db := openLoaded(strat, *flagCols, ankerdb.WithSnapshotRefresh(*flagRefresh))
 		commits, scans, aborts, avgStale := runMixed(db, *flagWriters, *flagScanners, *flagDur)
 		st := db.Stats()
+		captureStats("mixed", st)
 		secs := flagDur.Seconds()
 		textf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
 			float64(commits)/secs, float64(scans)/secs,
@@ -514,6 +569,7 @@ func benchCommit() {
 			st0 := db.Stats()
 			commits, aborts := runCommitters(db, writers, *flagDur)
 			st := db.Stats()
+			captureStats("commit", st)
 			if err := db.Close(); err != nil {
 				fail("close: %v", err)
 			}
@@ -652,6 +708,7 @@ func benchGrow(strats []ankerdb.SnapshotStrategy) {
 				ankerdb.WithSnapshotRefresh(0))
 			inserts, aborts := runInserters(db, *flagWriters, *flagDur)
 			st := db.Stats()
+			captureStats("grow", st)
 
 			// Free-list cycle: delete half the inserted rows, reclaim,
 			// and reinsert that many — counting how many slots came back
@@ -789,6 +846,7 @@ func benchDurability() {
 				ankerdb.WithGroupCommitMaxWait(*flagMaxWait))
 			commits, aborts := runCommitters(db, *flagWriters, *flagDur)
 			st := db.Stats()
+			captureStats("durability", st)
 			if err := db.Close(); err != nil {
 				fail("close: %v", err)
 			}
@@ -1016,6 +1074,7 @@ func benchQuery(strats []ankerdb.SnapshotStrategy) {
 				})
 			}
 		}
+		captureStats("query", db.Stats())
 		if err := db.Close(); err != nil {
 			fail("close: %v", err)
 		}
@@ -1103,6 +1162,7 @@ func benchIndex(strats []ankerdb.SnapshotStrategy) {
 		rangeIdx := run(false, false)
 		rangeScan := run(false, true)
 		st := db.Stats()
+		captureStats("index", st)
 		if st.IndexProbes == st0.IndexProbes {
 			fail("index bench: %s served no index probes — engine routing regressed", strat)
 		}

@@ -1,0 +1,210 @@
+// Command metricssmoke is the observability smoke test: it opens a
+// database with WithMetricsServer, drives a mixed OLTP/OLAP workload,
+// scrapes /metrics over HTTP while the workload is still running (the
+// endpoint must serve mid-stress, not just at rest), scrapes again at
+// quiescence, and fails unless every key ankerdb_* series is present
+// with a sane value. The final scrape and a flight-recorder TraceDump
+// can be written to files for CI artifacts.
+//
+// Exit status 0 means the endpoint served both scrapes and all checked
+// series exist; any missing series, HTTP failure, or workload error is
+// fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ankerdb"
+)
+
+var (
+	flagAddr     = flag.String("addr", "127.0.0.1:0", "metrics listen address (host:0 picks a free port)")
+	flagDur      = flag.Duration("dur", 2*time.Second, "workload duration")
+	flagWriters  = flag.Int("writers", 4, "concurrent OLTP writers")
+	flagRows     = flag.Int("rows", 8192, "rows per column")
+	flagOut      = flag.String("out", "", "write the final /metrics scrape to this file")
+	flagTrace    = flag.String("trace", "", "write a flight-recorder TraceDump to this file")
+	flagZeroCost = flag.Bool("zerocost", true, "disable the simulated kernel cost model")
+)
+
+// requiredSeries are the metric names whose presence the smoke test
+// asserts: one per telemetry subsystem (counters, commit-phase
+// histograms, snapshot lifecycle, query engine, flight recorder).
+var requiredSeries = []string{
+	"ankerdb_info",
+	"ankerdb_txn_commits_total",
+	"ankerdb_commit_batches_total",
+	"ankerdb_group_commit_size_count",
+	"ankerdb_commit_validate_seconds_count",
+	"ankerdb_commit_install_seconds_count",
+	"ankerdb_snapshot_create_seconds_count",
+	"ankerdb_snapshots_created_total",
+	"ankerdb_query_exec_seconds_count",
+	"ankerdb_queries_total",
+	"ankerdb_trace_events_total",
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricssmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// seriesValue finds a series by name (labeled series match by prefix)
+// and returns its value.
+func seriesValue(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if fields[0] != name && !strings.HasPrefix(fields[0], name+"{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func main() {
+	flag.Parse()
+	cost := ankerdb.DefaultCost
+	if *flagZeroCost {
+		cost = ankerdb.ZeroCost
+	}
+	db, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+		ankerdb.WithCostModel(cost),
+		ankerdb.WithMetricsServer(*flagAddr),
+		ankerdb.WithSlowQueryThreshold(time.Microsecond),
+		ankerdb.WithInitialSchema(ankerdb.Schema{
+			Table: "bench",
+			Columns: []ankerdb.ColumnDef{
+				{Name: "k", Type: ankerdb.Int64},
+				{Name: "v", Type: ankerdb.Int64},
+			},
+		}, *flagRows),
+	)
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Close()
+	base := "http://" + db.MetricsAddr()
+	fmt.Printf("metricssmoke: serving %s\n", base)
+
+	// Mixed workload: writers commit small write sets, one scanner runs
+	// aggregate queries against the rolling snapshot.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < *flagWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				txn, err := db.Begin(ankerdb.OLTP)
+				if err != nil {
+					fail("begin: %v", err)
+				}
+				if err := txn.Set("bench", "v", (w*8191+i)%*flagRows, int64(i)); err != nil {
+					fail("set: %v", err)
+				}
+				_ = txn.Commit() // conflicts are part of the workload
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := db.Query("bench").
+				Where(ankerdb.Ge("v", 0)).
+				Aggregate(ankerdb.SumOf("v"), ankerdb.CountRows()).
+				Run(); err != nil {
+				fail("query: %v", err)
+			}
+		}
+	}()
+
+	// Mid-stress scrape: the endpoint has to serve while commits and
+	// queries are in flight.
+	time.Sleep(*flagDur / 2)
+	mid := get(base + "/metrics")
+	if _, ok := seriesValue(mid, "ankerdb_txn_commits_total"); !ok {
+		fail("mid-stress scrape is missing ankerdb_txn_commits_total")
+	}
+	time.Sleep(*flagDur / 2)
+	stop.Store(true)
+	wg.Wait()
+
+	final := get(base + "/metrics")
+	var missing []string
+	for _, name := range requiredSeries {
+		if _, ok := seriesValue(final, name); !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fail("final scrape is missing series: %s", strings.Join(missing, ", "))
+	}
+	commits, _ := seriesValue(final, "ankerdb_txn_commits_total")
+	queries, _ := seriesValue(final, "ankerdb_queries_total")
+	if commits == 0 || queries == 0 {
+		fail("workload left no trace: commits=%v queries=%v", commits, queries)
+	}
+	if !strings.Contains(get(base+"/debug/vars"), "ankerdb") {
+		fail("/debug/vars does not publish the ankerdb map")
+	}
+	trace := get(base + "/debug/trace")
+	if !strings.Contains(trace, "txn.commit") {
+		fail("/debug/trace has no txn.commit events")
+	}
+
+	if *flagOut != "" {
+		if err := os.WriteFile(*flagOut, []byte(final), 0o644); err != nil {
+			fail("write -out: %v", err)
+		}
+	}
+	if *flagTrace != "" {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			fail("write -trace: %v", err)
+		}
+		db.TraceDump(f)
+		if err := f.Close(); err != nil {
+			fail("write -trace: %v", err)
+		}
+	}
+	fmt.Printf("metricssmoke: ok — %d series checked, commits=%.0f queries=%.0f\n",
+		len(requiredSeries), commits, queries)
+}

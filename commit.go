@@ -8,6 +8,7 @@ import (
 
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/telemetry"
 	"ankerdb/internal/wal"
 )
 
@@ -150,7 +151,9 @@ func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState) error {
 		// cross-shard commits are never stalled behind a sleeping
 		// leader — and a request a concurrent leader already processed
 		// returns without touching the lock at all.
+		linger := time.Now()
 		time.Sleep(db.groupMaxWait)
+		db.tel.commitLinger.Observe(time.Since(linger))
 		select {
 		case err := <-req.errc:
 			return db.finishGrouped(req, err)
@@ -158,7 +161,14 @@ func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState) error {
 		}
 	}
 
-	s.mu.Lock()
+	// TryLock first so the uncontended path pays neither a clock read
+	// nor an observation; the lock-wait histogram counts contended
+	// acquisitions only.
+	if !s.mu.TryLock() {
+		wait := time.Now()
+		s.mu.Lock()
+		db.tel.commitLockWait.Observe(time.Since(wait))
+	}
 	batch := s.drain()
 	if len(batch) > 0 {
 		db.runBatch(s, batch)
@@ -195,6 +205,16 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 	first := db.oracle.NextCommitTSBlock(len(batch))
 	done := make([]*commitReq, 0, len(batch))
 	var recs []wal.CommitRecord
+	// Phase latency is accumulated across the batch with chained clock
+	// marks (two reads per request) and observed once per batch — the
+	// granularity the batch actually pays validation and installation
+	// at. The marks are recorder-relative monotonic offsets: one read
+	// serves both the phase accounting and, via RecordAt, the flight-
+	// recorder timestamp of the request's commit/abort event, so the
+	// whole batch adds no clock reads beyond the phase marks.
+	tr := db.tel.rec
+	var validateTime, installTime time.Duration
+	mark := tr.Now()
 	for i, req := range batch {
 		ts := first + uint64(i)
 		req.ts = ts
@@ -202,9 +222,14 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 		// validation (HasReads). Earlier transactions of this batch
 		// have already added their records, so intra-batch conflicts
 		// are caught here too.
-		if conflictTS := validate(s, req.st); conflictTS != 0 {
+		conflictTS := validate(s, req.st)
+		now := tr.Now()
+		validateTime += now - mark
+		mark = now
+		if conflictTS != 0 {
 			db.st.conflicts.Add(1)
 			db.oracle.CompleteNoop(ts)
+			tr.RecordAt(telemetry.EvTxnAbort, int64(req.st.ID), telemetry.AbortConflict, int64(req.st.Begin), now)
 			req.errc <- fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
 			continue
 		}
@@ -214,7 +239,12 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 			recs = append(recs, db.redoRecord(rec))
 		}
 		done = append(done, req)
+		now = tr.Now()
+		installTime += now - mark
+		mark = now
 	}
+	db.tel.commitValidate.Observe(validateTime)
+	db.tel.commitInstall.Observe(installTime)
 	// The batch's records become durable before any of its timestamps
 	// complete: the visibility watermark never runs ahead of the
 	// durable prefix, so a transaction can only read state that will
@@ -223,12 +253,20 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 	// watermark must not stall — leaving the writes applied in memory;
 	// see the walErr delivery below.
 	var walErr error
+	evAt := mark
 	if len(recs) > 0 {
 		walErr = db.wal.AppendCommits(s.id, recs)
+		evAt = tr.Now()
+		db.tel.commitFsync.Observe(evAt - mark)
 		db.kickAutoCkpt()
 	}
 	for _, req := range done {
 		db.oracle.Complete(req.ts)
+		if walErr == nil {
+			tr.RecordAt(telemetry.EvTxnCommit, int64(req.st.ID), 0, int64(req.st.Begin), evAt)
+		} else {
+			tr.RecordAt(telemetry.EvTxnAbort, int64(req.st.ID), telemetry.AbortError, int64(req.st.Begin), evAt)
+		}
 		req.errc <- walErr
 	}
 	if len(done) > 0 {
@@ -242,10 +280,14 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 // each shard's recent commits, and its record is split per shard.
 func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	shards := make([]*commitShard, len(ids))
+	tr := db.tel.rec
+	wait := tr.Now()
 	for i, id := range ids {
 		shards[i] = db.shards[id]
 		shards[i].mu.Lock()
 	}
+	mark := tr.Now()
+	db.tel.commitLockWait.Observe(mark - wait)
 	unlock := func() {
 		for i := len(shards) - 1; i >= 0; i-- {
 			shards[i].mu.Unlock()
@@ -258,10 +300,16 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	for _, s := range shards {
 		if conflictTS := validate(s, t); conflictTS != 0 {
 			db.st.conflicts.Add(1)
+			now := tr.Now()
+			db.tel.commitValidate.Observe(now - mark)
+			tr.RecordAt(telemetry.EvTxnAbort, int64(t.ID), telemetry.AbortConflict, int64(t.Begin), now)
 			unlock()
 			return fmt.Errorf("%w: read set invalidated by commit %d", ErrConflict, conflictTS)
 		}
 	}
+	now := tr.Now()
+	db.tel.commitValidate.Observe(now - mark)
+	mark = now
 	ts := db.oracle.NextCommitTSBlock(1)
 	rec := db.install(t, ts)
 	for i, id := range ids {
@@ -280,6 +328,9 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 			shards[i].recent.Add(mvcc.CommitRecord{TS: ts, Writes: writes, VisWrites: visWrites})
 		}
 	}
+	now = tr.Now()
+	db.tel.commitInstall.Observe(now - mark)
+	mark = now
 	// The whole cross-shard record is logged once: to the owning
 	// (visibility pseudo-column) shard of the first mutated table when
 	// the transaction birthed or killed rows — keeping a table's row
@@ -294,7 +345,14 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 			logShard = db.shardOf(mvcc.VisColumnID(rec.Ops[0].Table))
 		}
 		walErr = db.wal.AppendCommits(logShard, []wal.CommitRecord{db.redoRecord(rec)})
+		now = tr.Now()
+		db.tel.commitFsync.Observe(now - mark)
 		db.kickAutoCkpt()
+	}
+	if walErr == nil {
+		tr.RecordAt(telemetry.EvTxnCommit, int64(t.ID), 0, int64(t.Begin), now)
+	} else {
+		tr.RecordAt(telemetry.EvTxnAbort, int64(t.ID), telemetry.AbortError, int64(t.Begin), now)
 	}
 	db.oracle.Complete(ts)
 	db.maintainShards(shards, 1)
@@ -430,12 +488,16 @@ func (db *DB) maintainShards(shards []*commitShard, added uint64) {
 		return
 	}
 	floor := db.gcFloor()
+	start := time.Now()
 	var removed int64
 	for _, s := range shards {
 		removed += db.vacuumShardChains(s, floor)
 	}
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
+	elapsed := time.Since(start)
+	db.tel.vacuum.Observe(elapsed)
+	db.tel.rec.Record(telemetry.EvVacuum, removed, 0, elapsed.Nanoseconds())
 }
 
 // vacuumShardChains prunes the version chains of every column routed to

@@ -2,6 +2,8 @@ package ankerdb
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/telemetry"
 	"ankerdb/internal/vmem"
 	"ankerdb/internal/wal"
 )
@@ -84,6 +87,14 @@ type DB struct {
 
 	txnIDs atomic.Uint64
 	st     dbCounters
+
+	// tel is the telemetry substrate (telemetry.go): phase-latency
+	// histograms, the flight recorder, and the slow-query log. Always
+	// initialised; the opt-in metrics server fields are nil without
+	// WithMetricsServer.
+	tel        dbTelemetry
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 }
 
 type dbCounters struct {
@@ -402,6 +413,8 @@ func Open(opts ...Option) (*DB, error) {
 		autoCkptRecords: cfg.autoCkptRecords,
 		groupMaxWait:    cfg.groupMaxWait,
 	}
+	db.tel.rec = telemetry.NewRecorder(traceRingSize)
+	db.tel.slowThresh = cfg.slowQueryThreshold
 	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
 	db.oracle.SetCompleteHook(db.onComplete)
 	if cfg.durDir != "" {
@@ -409,11 +422,21 @@ func Open(opts ...Option) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Sealed segments are the unit a future replication tier ships;
+		// the flight recorder witnesses each seal as it happens.
+		wlog.OnSeal = func(shard, records int, lastTS uint64) {
+			db.tel.rec.Record(telemetry.EvWALSeal, int64(shard), int64(records), int64(lastTS))
+		}
 		db.wal = wlog
+		start := time.Now()
 		if err := db.recover(); err != nil {
 			_ = wlog.Close()
 			return nil, err
 		}
+		elapsed := time.Since(start)
+		db.tel.recovery.Observe(elapsed)
+		db.tel.rec.Record(telemetry.EvRecovery,
+			int64(db.recoveredTxns), int64(db.recoveredLoads), elapsed.Nanoseconds())
 	}
 	for _, s := range cfg.schemas {
 		if db.wal != nil && db.hasTable(s.schema.Table) {
@@ -438,6 +461,12 @@ func Open(opts ...Option) (*DB, error) {
 		// being re-replayed by every subsequent Open; smaller tails fall
 		// to the interval timer.
 		db.kickAutoCkpt()
+	}
+	if cfg.metricsAddr != "" {
+		if err := db.startMetricsServer(cfg.metricsAddr); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
 	}
 	return db, nil
 }
@@ -578,7 +607,9 @@ func (db *DB) Begin(class TxnClass) (*Txn, error) {
 	switch class {
 	case OLAP:
 		db.st.olapBegun.Add(1)
-		return &Txn{db: db, id: id, class: OLAP, gen: db.snaps.acquire()}, nil
+		gen := db.snaps.acquire()
+		db.tel.rec.Record(telemetry.EvTxnBegin, int64(id), 1, int64(gen.ts))
+		return &Txn{db: db, id: id, class: OLAP, gen: gen}, nil
 	default:
 		db.st.oltpBegun.Add(1)
 		// Sample-register-verify: GC computes its floor from the active
@@ -594,6 +625,11 @@ func (db *DB) Begin(class TxnClass) (*Txn, error) {
 			}
 			db.activ.Unregister(id)
 		}
+		// No begin event for OLTP: these transactions run for
+		// microseconds, so a separate begin record would double recorder
+		// traffic on the commit hot path for no diagnostic window — the
+		// begin timestamp rides on the commit/abort event's C payload
+		// instead. OLAP begins (snapshot pins) are recorded above.
 		return &Txn{db: db, id: id, class: OLTP, state: mvcc.NewTxnState(id, begin, mvcc.OLTP)}, nil
 	}
 }
@@ -731,6 +767,7 @@ func (db *DB) gcFloor() uint64 {
 // its timestamp store could reap a version a concurrent reader still
 // needs, and row reclamation must not race a birth or death install.
 func (db *DB) Vacuum() int64 {
+	start := time.Now()
 	db.lockAllShards()
 	defer db.unlockAllShards()
 	floor := db.gcFloor()
@@ -762,6 +799,9 @@ func (db *DB) Vacuum() int64 {
 	}
 	db.st.vacuums.Add(1)
 	db.st.versionsGCed.Add(removed)
+	elapsed := time.Since(start)
+	db.tel.vacuum.Observe(elapsed)
+	db.tel.rec.Record(telemetry.EvVacuum, removed, 0, elapsed.Nanoseconds())
 	return removed
 }
 
@@ -814,6 +854,7 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.mu.Unlock()
+	db.stopMetricsServer()
 	close(db.gcQuit)
 	if db.ckptQuit != nil {
 		close(db.ckptQuit)

@@ -28,12 +28,16 @@
 //     bulk loads, snapshot-driven checkpoints (manual or scheduled),
 //     and streaming O(chunk)-memory crash recovery (enabled with
 //     WithDurability; the default remains purely in-memory)
+//   - internal/telemetry: lock-free observability primitives — atomic
+//     log2-bucketed latency histograms on every hot phase and an
+//     always-on flight-recorder ring of structured trace events
 //
 // Open-time options: WithSnapshotStrategy, WithCostModel,
 // WithPageSize, WithSnapshotRefresh, WithSnapshotMaxAge,
 // WithInitialSchema, WithCommitShards, WithGroupCommitMaxWait,
 // WithDurability, WithSyncPolicy, WithAutoCheckpoint,
-// WithAutoCheckpointInterval.
+// WithAutoCheckpointInterval, WithSlowQueryThreshold,
+// WithMetricsServer.
 //
 // Short modifying OLTP transactions stage writes locally, validate
 // against recently committed writers at commit (precision locking, so
@@ -106,6 +110,18 @@
 //
 //	w, _ := db.Begin(ankerdb.OLTP)
 //	rows, _ := w.Lookup("users", "uid", 42)
+//
+// The engine is observable without touching its contended paths:
+// DB.Stats carries phase-latency histograms (commit linger, lock wait,
+// validate, install, fsync; snapshot creation; query execution;
+// checkpoint, recovery replay, vacuum) next to its counters,
+// DB.TraceDump renders the flight recorder's surviving event window,
+// DB.SlowQueries returns the newest queries slower than the
+// WithSlowQueryThreshold cutoff with their per-operator row
+// breakdown, and DB.MetricsText writes the whole surface as
+// Prometheus text under stable ankerdb_* names. WithMetricsServer
+// serves /metrics, /debug/vars (expvar), /debug/pprof and
+// /debug/trace over HTTP on a dedicated mux.
 //
 // Note on Filter: its positional (lo, hi) range form predates the
 // predicate tree and is retained for compatibility; for equality

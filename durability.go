@@ -9,6 +9,7 @@ import (
 	"ankerdb/internal/index"
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/telemetry"
 	"ankerdb/internal/wal"
 )
 
@@ -80,6 +81,7 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.RUnlock()
 
+	start := time.Now()
 	// A fresh generation, not the current one: a column snapshot cached
 	// in the current generation by an earlier OLAP pin could predate a
 	// bulk load, and checkpointing it would persist pre-load data while
@@ -157,6 +159,9 @@ func (db *DB) Checkpoint() error {
 	db.ckptBaseBytes.Store(db.wal.Bytes())
 	db.ckptBaseRecords.Store(db.wal.Records())
 	db.st.checkpoints.Add(1)
+	elapsed := time.Since(start)
+	db.tel.checkpoint.Observe(elapsed)
+	db.tel.rec.Record(telemetry.EvCheckpoint, int64(g.ts), 0, elapsed.Nanoseconds())
 	return nil
 }
 

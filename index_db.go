@@ -5,6 +5,7 @@ import (
 
 	"ankerdb/internal/index"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/telemetry"
 )
 
 // Secondary-index DDL and (re)build paths. The durability model is
@@ -91,6 +92,8 @@ func (db *DB) CreateIndex(tab, col string, kind IndexKind) error {
 	minTS := db.oracle.Completed()
 	c.idx.Store(buildColumnIndex(c, kind, minTS))
 	db.unlockAllShards()
+	db.tel.rec.RecordNote(telemetry.EvIndexDDL, 1, int64(minTS), 0,
+		fmt.Sprintf("%s.%s %s", tab, col, kind))
 	if db.wal != nil && !db.recovering {
 		return db.wal.AppendIndexDDL(wrecIndexDDL(tab, col, kind, false))
 	}
@@ -108,6 +111,7 @@ func (db *DB) DropIndex(tab, col string) error {
 	if old := c.idx.Swap(nil); old == nil {
 		return fmt.Errorf("%w: %s.%s", ErrNoIndex, tab, col)
 	}
+	db.tel.rec.RecordNote(telemetry.EvIndexDDL, 0, 0, 0, fmt.Sprintf("%s.%s", tab, col))
 	if db.wal != nil && !db.recovering {
 		return db.wal.AppendIndexDDL(wrecIndexDDL(tab, col, NoIndex, true))
 	}

@@ -91,6 +91,7 @@ type Index struct {
 	runs    [][]entry         // Ordered: each sorted by (val, row, birth)
 	buf     []entry           // Ordered: unsorted tail, len < bufMax after any writer
 	n       int               // total entries across the structure
+	nLive   int               // of those, entries with death == 0
 }
 
 // New returns an empty index of the given kind. Probes at timestamps
@@ -120,6 +121,15 @@ func (ix *Index) Len() int {
 	return ix.n
 }
 
+// LiveLen returns the live (not death-stamped) entry count: the
+// associations a probe at the current timestamp can actually return.
+// Len minus LiveLen is the churn backlog awaiting Prune.
+func (ix *Index) LiveLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.nLive
+}
+
 // Add records that row carries val from commit timestamp ts on.
 func (ix *Index) Add(val int64, row int, ts uint64) { ix.Insert(val, row, ts, 0) }
 
@@ -130,6 +140,9 @@ func (ix *Index) Insert(val int64, row int, birth, death uint64) {
 	e := entry{val: val, row: int32(row), birth: birth, death: death}
 	ix.mu.Lock()
 	ix.n++
+	if death == 0 {
+		ix.nLive++
+	}
 	if ix.kind == Hash {
 		ix.buckets[val] = append(ix.buckets[val], e)
 	} else {
@@ -154,6 +167,7 @@ func (ix *Index) Kill(val int64, row int, ts uint64) bool {
 		for i := len(b) - 1; i >= 0; i-- { // live entry is the newest
 			if b[i].row == r && b[i].death == 0 {
 				b[i].death = ts
+				ix.nLive--
 				return true
 			}
 		}
@@ -163,6 +177,7 @@ func (ix *Index) Kill(val int64, row int, ts uint64) bool {
 		e := &ix.buf[i]
 		if e.val == val && e.row == r && e.death == 0 {
 			e.death = ts
+			ix.nLive--
 			return true
 		}
 	}
@@ -172,6 +187,7 @@ func (ix *Index) Kill(val int64, row int, ts uint64) bool {
 		for ; i < len(run) && run[i].val == val; i++ {
 			if run[i].row == r && run[i].death == 0 {
 				run[i].death = ts
+				ix.nLive--
 				return true
 			}
 		}
@@ -273,9 +289,14 @@ func (ix *Index) ProbeRange(lo, hi int64, ts uint64) (rows []int, ok bool) {
 	return rows, true
 }
 
-// EstimateRange returns the raw entry count for [lo, hi] — an upper
-// bound on the rows any probe of the range can return, used by the
-// planner's selectivity gate. ok mirrors ProbeRange's serveability
+// EstimateRange estimates the rows a probe of [lo, hi] would return
+// at a current timestamp: the raw in-range entry count scaled by the
+// index's overall live fraction. Before the scaling, a churned index —
+// many death-stamped entries updates and deletes left behind that
+// Vacuum has not pruned yet — systematically over-estimated and could
+// spuriously fail the planner's selectivity gate. Probes at older
+// timestamps can still see death-stamped entries, so this is an
+// estimate, not an upper bound. ok mirrors ProbeRange's serveability
 // (ignoring the timestamp, which the caller checks via Valid).
 func (ix *Index) EstimateRange(lo, hi int64) (n int, ok bool) {
 	ix.mu.RLock()
@@ -287,7 +308,7 @@ func (ix *Index) EstimateRange(lo, hi int64) (n int, ok bool) {
 		if lo != hi {
 			return 0, false
 		}
-		return len(ix.buckets[lo]), true
+		return ix.scaleLocked(len(ix.buckets[lo])), true
 	}
 	for _, run := range ix.runs {
 		i := sort.Search(len(run), func(i int) bool { return run[i].val >= lo })
@@ -299,7 +320,17 @@ func (ix *Index) EstimateRange(lo, hi int64) (n int, ok bool) {
 			n++
 		}
 	}
-	return n, true
+	return ix.scaleLocked(n), true
+}
+
+// scaleLocked scales a raw in-range entry count by the live fraction,
+// rounding up so a range with any live entries never estimates zero.
+// The caller holds ix.mu.
+func (ix *Index) scaleLocked(raw int) int {
+	if raw == 0 || ix.nLive >= ix.n {
+		return raw
+	}
+	return int((int64(raw)*int64(ix.nLive) + int64(ix.n) - 1) / int64(ix.n))
 }
 
 // Prune drops entries dead at or below floor — no live reader can see

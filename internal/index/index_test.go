@@ -233,3 +233,51 @@ func TestConcurrentMaintenanceAndProbes(t *testing.T) {
 		}
 	}
 }
+
+func TestLiveLenAndChurnScaledEstimate(t *testing.T) {
+	for _, k := range kinds() {
+		ix := New(k, 0)
+		for row := 0; row < 100; row++ {
+			ix.Add(5, row, 1)
+		}
+		if ix.Len() != 100 || ix.LiveLen() != 100 {
+			t.Fatalf("%v: Len/LiveLen = %d/%d, want 100/100", k, ix.Len(), ix.LiveLen())
+		}
+		// Churn: kill three quarters. The raw entry count stays put, the
+		// live count tracks, and the estimate scales by the live fraction
+		// instead of reporting the pre-churn 100.
+		for row := 0; row < 75; row++ {
+			if !ix.Kill(5, row, 2) {
+				t.Fatalf("%v: Kill(5, %d) missed live entry", k, row)
+			}
+		}
+		if ix.Len() != 100 || ix.LiveLen() != 25 {
+			t.Fatalf("%v: churned Len/LiveLen = %d/%d, want 100/25", k, ix.Len(), ix.LiveLen())
+		}
+		if est, ok := ix.EstimateRange(5, 5); !ok || est != 25 {
+			t.Errorf("%v: churned EstimateRange = %d/%v, want 25/true", k, est, ok)
+		}
+		// Old-timestamp probes still see the killed entries: the estimate
+		// is not an upper bound for them.
+		if rows, ok := ix.ProbeRange(5, 5, 1); !ok || len(rows) != 100 {
+			t.Errorf("%v: probe at ts 1 = %d rows, want 100", k, len(rows))
+		}
+		// Prune removes only dead entries, converging raw onto live.
+		if removed := ix.Prune(2); removed != 75 {
+			t.Errorf("%v: Prune removed %d, want 75", k, removed)
+		}
+		if ix.Len() != 25 || ix.LiveLen() != 25 {
+			t.Errorf("%v: pruned Len/LiveLen = %d/%d, want 25/25", k, ix.Len(), ix.LiveLen())
+		}
+		if est, ok := ix.EstimateRange(5, 5); !ok || est != 25 {
+			t.Errorf("%v: pruned EstimateRange = %d/%v, want 25/true", k, est, ok)
+		}
+		// Ceiling: one live entry among many dead still estimates >= 1.
+		for row := 25; row < 99; row++ {
+			ix.Kill(5, row, 3)
+		}
+		if est, ok := ix.EstimateRange(5, 5); !ok || est < 1 {
+			t.Errorf("%v: near-dead EstimateRange = %d/%v, want >= 1", k, est, ok)
+		}
+	}
+}

@@ -34,6 +34,23 @@ type ExecStats struct {
 	RowsScanned    int64 // rows of scanned probe blocks, or rows read via index
 	RowsEmitted    int64 // rows in the final result
 	IndexProbes    int64 // secondary-index probes that replaced the probe scan
+
+	// Operators is the per-operator row breakdown in pipeline order:
+	// scan (or index-scan), the scan filter, each join, the post-join
+	// filter, and — for aggregating queries — a final "aggregate"
+	// pseudo-operator. RowsIn chains from the previous operator's
+	// RowsOut, so RowsIn - RowsOut is the rows an operator dropped.
+	Operators []OpStat
+	// IndexRouted reports whether a secondary index served the probe
+	// scan (the index-scan path) instead of the morsel scan.
+	IndexRouted bool
+}
+
+// OpStat is one operator's row flow within a query execution.
+type OpStat struct {
+	Op      string // operator label: scan, index-scan, filter, join(t), post-filter, aggregate
+	RowsIn  int64  // rows entering the operator
+	RowsOut int64  // rows it passed downstream
 }
 
 func (s *ExecStats) add(o *ExecStats) {
@@ -44,6 +61,55 @@ func (s *ExecStats) add(o *ExecStats) {
 	s.RowsScanned += o.RowsScanned
 	s.RowsEmitted += o.RowsEmitted
 	s.IndexProbes += o.IndexProbes
+	s.IndexRouted = s.IndexRouted || o.IndexRouted
+	switch {
+	case len(s.Operators) == 0:
+		// Alias rather than copy: per-worker stats are discarded after
+		// the merge, so the first worker's slice becomes the result's.
+		s.Operators = o.Operators
+	case len(s.Operators) == len(o.Operators):
+		for i := range s.Operators {
+			s.Operators[i].RowsIn += o.Operators[i].RowsIn
+			s.Operators[i].RowsOut += o.Operators[i].RowsOut
+		}
+	}
+}
+
+// opNames returns the operator labels of the bound pipeline, in the
+// order worker builds it. Every worker shares the same shape, so
+// per-worker Operators slices merge element-wise.
+func (p *plan) opNames() []string {
+	names := make([]string, 0, 3+len(p.joins))
+	if p.useIdx {
+		names = append(names, "index-scan")
+	} else {
+		names = append(names, "scan")
+	}
+	if p.scanPred != nil {
+		names = append(names, "filter")
+	}
+	for _, j := range p.joins {
+		names = append(names, "join("+j.build.Name()+")")
+	}
+	if p.postPred != nil {
+		names = append(names, "post-filter")
+	}
+	return names
+}
+
+// countOp counts the rows an operator stage emits into its OpStat.
+// It is the only stats hook in the pipeline: one add per batch.
+type countOp struct {
+	child Op
+	st    *OpStat
+}
+
+func (c *countOp) Next() (*Batch, error) {
+	b, err := c.child.Next()
+	if b != nil {
+		c.st.RowsOut += int64(b.N)
+	}
+	return b, err
 }
 
 // srcProbe marks a slot read from the probe (scanned) table; any other
@@ -477,8 +543,21 @@ func (p *plan) run() (*Result, error) {
 		lim = newLimiter(int64(p.limit), nM)
 	}
 
+	opNames := p.opNames()
 	var next atomic.Int64
 	wstats := make([]ExecStats, workers)
+	// One flat backing array holds every worker's per-operator stats;
+	// full-capacity subslices keep a later append from crossing into the
+	// next worker's stretch.
+	nOps := len(opNames)
+	opsFlat := make([]OpStat, workers*nOps)
+	for wi := range wstats {
+		ops := opsFlat[wi*nOps : (wi+1)*nOps : (wi+1)*nOps]
+		for i, name := range opNames {
+			ops[i].Op = name
+		}
+		wstats[wi].Operators = ops
+	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
@@ -499,6 +578,7 @@ func (p *plan) run() (*Result, error) {
 	for i := range wstats {
 		res.Stats.add(&wstats[i])
 	}
+	res.Stats.IndexRouted = p.useIdx
 	if p.useIdx {
 		res.Stats.IndexProbes++
 	}
@@ -513,6 +593,25 @@ func (p *plan) run() (*Result, error) {
 		}
 	}
 	res.Stats.RowsEmitted = int64(res.Len())
+
+	// Chain RowsIn from the upstream RowsOut (the source's input is the
+	// rows it read), then account the aggregation step, whose output is
+	// the laid-out groups.
+	ops := res.Stats.Operators
+	for i := range ops {
+		if i == 0 {
+			ops[i].RowsIn = res.Stats.RowsScanned
+		} else {
+			ops[i].RowsIn = ops[i-1].RowsOut
+		}
+	}
+	if aggregating {
+		in := res.Stats.RowsScanned
+		if len(ops) > 0 {
+			in = ops[len(ops)-1].RowsOut
+		}
+		res.Stats.Operators = append(ops, OpStat{Op: "aggregate", RowsIn: in, RowsOut: res.Stats.RowsEmitted})
+	}
 	return res, nil
 }
 
@@ -600,21 +699,33 @@ func (p *plan) isBareCount() bool {
 // are consecutive within its worker, so a morsel-number change (or end
 // of stream) marks the previous morsel finished.
 func (p *plan) worker(next *atomic.Int64, nM, morselRows, bound int, st *ExecStats, agg *aggregator, perMorsel [][][]int64, lim *limiter) error {
+	// st.Operators is pre-sized by run to the pipeline shape, so the
+	// per-stage pointers stay valid for the whole execution. All the
+	// worker's counting wrappers come from one array.
+	oi := 0
+	counts := make([]countOp, len(st.Operators))
+	wrap := func(op Op) Op {
+		c := &counts[oi]
+		c.child, c.st = op, &st.Operators[oi]
+		oi++
+		return c
+	}
 	var op Op
 	if p.useIdx {
 		op = newIndexScanOp(p, next, nM, morselRows, st, lim)
 	} else {
 		op = newScanOp(p, next, nM, morselRows, bound, st, lim)
 	}
+	op = wrap(op)
 	passEmpty := lim != nil
 	if p.scanPred != nil {
-		op = &filterOp{child: op, pred: p.scanPred, passEmpty: passEmpty}
+		op = wrap(&filterOp{child: op, pred: p.scanPred, passEmpty: passEmpty})
 	}
 	for _, j := range p.joins {
-		op = &joinOp{child: op, j: j, cap: morselRows, passEmpty: passEmpty}
+		op = wrap(&joinOp{child: op, j: j, cap: morselRows, passEmpty: passEmpty})
 	}
 	if p.postPred != nil {
-		op = &filterOp{child: op, pred: p.postPred, passEmpty: passEmpty}
+		op = wrap(&filterOp{child: op, pred: p.postPred, passEmpty: passEmpty})
 	}
 	cur, cnt := -1, int64(0)
 	for {

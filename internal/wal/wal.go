@@ -119,6 +119,13 @@ type Log struct {
 	// counted — it exists with or without recovery.
 	recoveryPeak atomic.Uint64
 
+	// OnSeal, when set (before the log is shared), is called each time
+	// TruncateBelow seals a shard's active segment, with the shard id,
+	// the record count, and the newest commit timestamp the segment
+	// holds. It runs with the shard's append lock held, so it must be
+	// cheap and must not call back into the log.
+	OnSeal func(shard, records int, lastTS uint64)
+
 	schemaMu sync.Mutex
 	schema   *os.File
 
@@ -556,6 +563,9 @@ func (l *Log) TruncateBelow(ts uint64) error {
 			l.sealedMu.Lock()
 			l.sealedMax[s.path] = s.lastTS
 			l.sealedMu.Unlock()
+			if l.OnSeal != nil {
+				l.OnSeal(s.shard, s.records, s.lastTS)
+			}
 			s.f = nil
 			if err != nil {
 				s.mu.Unlock()

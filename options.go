@@ -52,6 +52,10 @@ type config struct {
 
 	// Group-commit leader max wait for followers (0 = drain once).
 	groupMaxWait time.Duration
+
+	// Telemetry (0/"" = disabled).
+	slowQueryThreshold time.Duration
+	metricsAddr        string
 }
 
 // resolveCommitShards turns the configured shard count into the number
@@ -242,4 +246,33 @@ func WithGroupCommitMaxWait(d time.Duration) Option {
 		}
 		c.groupMaxWait = d
 	}
+}
+
+// WithSlowQueryThreshold enables the slow-query log: every engine
+// query (Txn.Query / DB.Query) whose end-to-end execution takes at
+// least d is retained — with its per-operator row counts, zone-map
+// skip counts, index-route decision and morsel count — readable via
+// DB.SlowQueries and rendered by DB.TraceDump. The newest 64 entries
+// are kept. Zero (the default) disables the log; the per-query cost
+// when a query is NOT slow is a single duration comparison.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			d = 0
+		}
+		c.slowQueryThreshold = d
+	}
+}
+
+// WithMetricsServer serves the observability endpoint on addr (e.g.
+// "127.0.0.1:9100", or host:0 to pick a free port — see
+// DB.MetricsAddr): /metrics in Prometheus text format (the same bytes
+// DB.MetricsText writes), /debug/vars (expvar, including an "ankerdb"
+// map of per-DB Stats), /debug/pprof (the standard profiles), and
+// /debug/trace (the flight-recorder dump). The server uses its own
+// mux — never http.DefaultServeMux — and is shut down by DB.Close.
+// Omitted (the default), no listener is opened and serving costs
+// nothing.
+func WithMetricsServer(addr string) Option {
+	return func(c *config) { c.metricsAddr = addr }
 }

@@ -1,6 +1,11 @@
 package ankerdb
 
-import "ankerdb/internal/query"
+import (
+	"time"
+
+	"ankerdb/internal/query"
+	"ankerdb/internal/telemetry"
+)
 
 // Pred is a query predicate: a tree of comparisons over column values,
 // combined with And/Or/Not. Build predicates with the package-level
@@ -53,8 +58,9 @@ func CountRows() AggSpec       { return query.Count() }
 // surface from Run.
 type Query struct {
 	db  *DB
-	t   *Txn // supplies the pinned generation
-	own bool // Run releases t when DB.Query created it
+	t   *Txn   // supplies the pinned generation
+	own bool   // Run releases t when DB.Query created it
+	tab string // probe table name, for the slow-query log
 	b   *query.Builder
 	err error
 }
@@ -63,7 +69,7 @@ type Query struct {
 // snapshot. The transaction must be OLAP: queries execute against a
 // snapshot generation, which only OLAP transactions pin.
 func (t *Txn) Query(tab string) *Query {
-	q := &Query{db: t.db, t: t}
+	q := &Query{db: t.db, t: t, tab: tab}
 	switch {
 	case t.done:
 		q.err = ErrTxnDone
@@ -183,17 +189,35 @@ func (q *Query) Run() (*QueryResult, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	db := q.db
+	qid := int64(db.tel.queryIDs.Add(1))
+	// The recorder marks double as the execution timer: two monotonic
+	// reads cover both events and the latency histogram.
+	tr := db.tel.rec
+	start := tr.Now()
+	tr.RecordAt(telemetry.EvQueryStart, qid, 0, 0, start)
 	res, err := q.b.Run()
+	end := tr.Now()
+	elapsed := end - start
 	if err != nil {
+		tr.RecordAt(telemetry.EvQueryFinish, qid, -1, elapsed.Nanoseconds(), end)
 		return nil, err
 	}
-	st := &q.db.st
+	st := &db.st
 	st.queriesRun.Add(1)
 	st.zoneSkipped.Add(uint64(res.Stats.BlocksSkipped))
 	st.zoneScanned.Add(uint64(res.Stats.BlocksScanned))
 	if res.Stats.IndexProbes > 0 {
 		st.indexProbes.Add(uint64(res.Stats.IndexProbes))
 		st.indexQueries.Add(1)
+	}
+	// Counter first, histogram second (Stats snapshots histograms before
+	// loading counters): QueryExecHist.Count never exceeds QueriesRun.
+	db.tel.queryExec.Observe(elapsed)
+	tr.RecordAt(telemetry.EvQueryFinish, qid, res.Stats.RowsEmitted, elapsed.Nanoseconds(), end)
+	if th := db.tel.slowThresh; th > 0 && elapsed >= th {
+		tr.RecordNote(telemetry.EvSlowQuery, qid, res.Stats.RowsEmitted, elapsed.Nanoseconds(), q.tab)
+		db.tel.noteSlow(SlowQuery{At: time.Now(), Duration: elapsed, Table: q.tab, Stats: res.Stats})
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"ankerdb/internal/mvcc"
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/storage"
+	"ankerdb/internal/telemetry"
 )
 
 // snapManager is the snapshot lifecycle manager: it hands OLAP
@@ -203,6 +204,9 @@ func (g *generation) destroy() {
 		cs.snap.Release()
 		g.mgr.released.Add(1)
 	}
+	if n := len(g.cols); n > 0 {
+		g.mgr.db.tel.rec.Record(telemetry.EvSnapRelease, int64(n), 0, int64(g.ts))
+	}
 	g.cols = map[mvcc.ColumnID]*colSnap{}
 }
 
@@ -295,6 +299,11 @@ func (g *generation) capture(id mvcc.ColumnID, primary, secondary []storage.Regi
 	m.created.Add(1)
 	m.createdNanos.Add(uint64(elapsed.Nanoseconds()))
 	m.lastNanos.Store(uint64(elapsed.Nanoseconds()))
+	// Counter first, histogram second: Stats snapshots histograms before
+	// loading counters, so SnapshotCreateHist.Count never exceeds
+	// SnapshotsCreated mid-capture (equal at quiescence).
+	m.db.tel.snapCreate.Observe(elapsed)
+	m.db.tel.rec.Record(telemetry.EvSnapCreate, int64(id.Table), int64(id.Col), elapsed.Nanoseconds())
 
 	reader := snap.Reader()
 	out := snap.Regions()

@@ -1,6 +1,10 @@
 package ankerdb
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Stats is a point-in-time snapshot of engine counters, the surface
 // later benchmarking PRs measure against.
@@ -81,7 +85,13 @@ type Stats struct {
 	// IndexBackedQueries counts engine queries whose probe scan was
 	// replaced by an index probe (a subset of QueriesRun).
 	IndexBackedQueries uint64
-	IndexEntries       int64 // live entries summed over every secondary index
+	// IndexEntries counts live (not death-stamped) entries summed over
+	// every secondary index; IndexEntriesRaw additionally counts
+	// death-stamped entries Vacuum has not pruned yet. Raw minus live is
+	// the churn backlog — the gap that made EstimateRange over-estimate
+	// before it was live-scaled.
+	IndexEntries    int64
+	IndexEntriesRaw int64
 
 	// Growable tables (Txn.Insert / Txn.Delete).
 	RowInserts    uint64 // rows transactionally born (committed inserts)
@@ -95,15 +105,42 @@ type Stats struct {
 	VM          VMStats
 	MappedBytes uint64 // virtual size of the simulated process
 	NumVMAs     int    // VMA count (Figure 5a's x-axis driver)
+
+	// Phase-latency histograms (log2 nanosecond buckets — see Hist).
+	// Stats snapshots them before loading any counter, and every
+	// instrumented site increments its companion counter before
+	// observing, so a histogram's Count never exceeds its counter
+	// mid-flight and equals it once writers quiesce (e.g.
+	// SnapshotCreateHist.Count == SnapshotsCreated,
+	// QueryExecHist.Count == QueriesRun,
+	// CommitValidateHist.Count == CommitBatches).
+	CommitLingerHist   Hist // group-commit pre-lock linger, per lingering committer
+	CommitLockWaitHist Hist // contended shard commit-lock waits (the uncontended TryLock path is unobserved)
+	CommitValidateHist Hist // precision-locking validation, one observation per batch
+	CommitInstallHist  Hist // write materialisation, one observation per batch
+	CommitFsyncHist    Hist // WAL append+sync, per batch that logged records
+	SnapshotCreateHist Hist // column snapshot creation (Fig 5's y-axis, per strategy)
+	QueryExecHist      Hist // Query.Run end-to-end execution
+	CheckpointHist     Hist // checkpoint duration
+	RecoveryReplayHist Hist // Open-time replay (at most one observation)
+	VacuumHist         Hist // vacuum passes (explicit + commit-path)
 }
 
 // GroupCommitHist is a log2 histogram of commit batch sizes: how many
 // transactions each shard-lock acquisition committed together. Bucket
-// upper bounds are 1, 2, 4, 8, 16, 32, 64, and +Inf. Cross-shard
-// commits count as batches of one.
+// upper bounds are GroupCommitBucketBounds (1, 2, 4, 8, 16, 32, 64;
+// the final bucket is unbounded). Cross-shard commits count as batches
+// of one.
 type GroupCommitHist struct {
 	Buckets [8]uint64
 }
+
+// GroupCommitBucketBounds holds the inclusive upper bound of each
+// bounded GroupCommitHist bucket: Buckets[i] counts batches of up to
+// GroupCommitBucketBounds[i] transactions (and more than the previous
+// bound). The last histogram bucket has no bound here — it counts
+// batches larger than the final entry.
+var GroupCommitBucketBounds = [7]int{1, 2, 4, 8, 16, 32, 64}
 
 // Observations returns the total number of batches recorded.
 func (h GroupCommitHist) Observations() uint64 {
@@ -114,8 +151,42 @@ func (h GroupCommitHist) Observations() uint64 {
 	return n
 }
 
+// String renders the distribution with its bucket bounds, eliding
+// empty buckets: e.g. "batches=12 <=1:4 <=4:6 >64:2".
+func (h GroupCommitHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batches=%d", h.Observations())
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if i < len(GroupCommitBucketBounds) {
+			fmt.Fprintf(&b, " <=%d:%d", GroupCommitBucketBounds[i], n)
+		} else {
+			fmt.Fprintf(&b, " >%d:%d", GroupCommitBucketBounds[len(GroupCommitBucketBounds)-1], n)
+		}
+	}
+	return b.String()
+}
+
 // Stats returns current engine counters.
 func (db *DB) Stats() Stats {
+	// Histograms first, before ANY counter load: every instrumented
+	// site bumps its companion counter before observing, so snapshotting
+	// in this order bounds each histogram's Count by the counter even
+	// mid-operation.
+	tel := &db.tel
+	lingerH := tel.commitLinger.Snapshot()
+	lockWaitH := tel.commitLockWait.Snapshot()
+	validateH := tel.commitValidate.Snapshot()
+	installH := tel.commitInstall.Snapshot()
+	fsyncH := tel.commitFsync.Snapshot()
+	snapCreateH := tel.snapCreate.Snapshot()
+	queryExecH := tel.queryExec.Snapshot()
+	checkpointH := tel.checkpoint.Snapshot()
+	recoveryH := tel.recovery.Snapshot()
+	vacuumH := tel.vacuum.Snapshot()
+
 	m := db.snaps
 	// released first: every release is preceded by a create, so loading
 	// in this order keeps created >= released even mid-lifecycle.
@@ -123,6 +194,17 @@ func (db *DB) Stats() Stats {
 	created := m.created.Load()
 
 	s := Stats{
+		CommitLingerHist:   lingerH,
+		CommitLockWaitHist: lockWaitH,
+		CommitValidateHist: validateH,
+		CommitInstallHist:  installH,
+		CommitFsyncHist:    fsyncH,
+		SnapshotCreateHist: snapCreateH,
+		QueryExecHist:      queryExecH,
+		CheckpointHist:     checkpointH,
+		RecoveryReplayHist: recoveryH,
+		VacuumHist:         vacuumH,
+
 		Strategy:     db.strat.Name(),
 		Commits:      db.st.commits.Load(),
 		EmptyCommits: db.st.emptyCommits.Load(),
@@ -201,7 +283,8 @@ func (db *DB) Stats() Stats {
 		for _, c := range t.cols {
 			s.VersionNodes += c.chain.Nodes()
 			if ix := c.idx.Load(); ix != nil {
-				s.IndexEntries += int64(ix.Len())
+				s.IndexEntries += int64(ix.LiveLen())
+				s.IndexEntriesRaw += int64(ix.Len())
 			}
 		}
 		s.TableCapacity += t.st.Capacity()

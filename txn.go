@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"ankerdb/internal/mvcc"
+	"ankerdb/internal/telemetry"
 )
 
 // Txn is one transaction. OLTP transactions stage writes locally (Set),
@@ -564,6 +565,7 @@ func (t *Txn) Commit() error {
 	t.done = true
 	if t.class == OLAP {
 		t.db.snaps.release(t.gen)
+		t.db.tel.rec.Record(telemetry.EvTxnCommit, int64(t.id), 0, int64(t.gen.ts))
 		return nil
 	}
 	defer t.db.activ.Unregister(t.id)
@@ -571,8 +573,12 @@ func (t *Txn) Commit() error {
 		// Read-only transactions read one consistent snapshot and need
 		// no validation to be serializable.
 		t.db.st.emptyCommits.Add(1)
+		t.db.tel.rec.Record(telemetry.EvTxnCommit, int64(t.id), 1, int64(t.state.Begin))
 		return nil
 	}
+	// The commit path itself records the flight-recorder commit/abort
+	// event (RecordAt, reusing its phase clock marks), so no event is
+	// emitted here.
 	if err := t.db.commit(t.state); err != nil {
 		if errors.Is(err, ErrConflict) {
 			// Failed validation: install never ran, so reserved insert
@@ -598,11 +604,13 @@ func (t *Txn) Abort() error {
 	t.done = true
 	if t.class == OLAP {
 		t.db.snaps.release(t.gen)
+		t.db.tel.rec.Record(telemetry.EvTxnAbort, int64(t.id), telemetry.AbortExplicit, int64(t.gen.ts))
 		return nil
 	}
 	t.releaseReserved()
 	t.db.activ.Unregister(t.id)
 	t.db.st.aborts.Add(1)
+	t.db.tel.rec.Record(telemetry.EvTxnAbort, int64(t.id), telemetry.AbortExplicit, int64(t.state.Begin))
 	return nil
 }
 
