@@ -10,7 +10,7 @@ GO ?= go
 # throughput as commits_per_sec, so one gate metric covers every bench.
 BENCH_GATE_ARGS := -quick -bench commit,grow,query,index -format json
 
-.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline metrics-smoke
+.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline metrics-smoke fault-sweep
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/ankerbench $(BENCH_GATE_ARGS) > bench-current.json
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.json -current bench-current.json
+
+# fault-sweep widens the deterministic crash-recovery battery: the
+# seeded fault-schedule matrix (every snapshot strategy × crash point ×
+# torn/short/lying-fsync mode) plus the per-operation crash sweeps over
+# DropTable and Truncate. Every schedule derives from its seed, so a
+# failure log names a (strategy, seed) pair that replays the crash
+# byte-for-byte — paste the seed back into the test to debug.
+FAULT_SWEEP_SEEDS ?= 25
+fault-sweep:
+	FAULT_SWEEP_SEEDS=$(FAULT_SWEEP_SEEDS) $(GO) test -run \
+	  'TestCrashRecoveryMatrix|TestFsyncLieRecoveryMatrix|TestSeededScheduleReproducible|TestCrashMid' \
+	  -v -timeout 30m .
 
 # metrics-smoke starts the observability endpoint under a mixed
 # workload, scrapes /metrics over HTTP mid-stress and at quiescence,

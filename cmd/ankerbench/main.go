@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"ankerdb"
+	"ankerdb/internal/workload"
 )
 
 var (
@@ -67,6 +68,7 @@ var (
 	flagWrites     = flag.Int("writes", 4096, "rows written after the snapshot (write benchmark)")
 	flagWriters    = flag.Int("writers", 8, "concurrent OLTP writers (mixed benchmark; upper bound of the commit sweep)")
 	flagScanners   = flag.Int("scanners", 2, "concurrent OLAP scanners (mixed benchmark)")
+	flagMix        = flag.String("mix", "uniform,ycsb-a,ycsb-b,tpcc", "comma-separated mixed-benchmark writer profiles: uniform, ycsb-a, ycsb-b, tpcc")
 	flagRefresh    = flag.Int("refresh", 16, "snapshot refresh interval in commits (mixed benchmark)")
 	flagShards     = flag.String("shards", "1,0", "comma-separated commit shard counts for the commit and durability sweeps (0 = GOMAXPROCS)")
 	flagSync       = flag.String("sync", "none,groupOnly,always", "comma-separated WAL sync policies for the durability sweep")
@@ -134,6 +136,7 @@ func writeStatsDump(path string) {
 // dimension does not apply to the benchmark.
 type record struct {
 	Bench    string  `json:"bench"`
+	Mix      string  `json:"mix,omitempty"`
 	Strategy string  `json:"strategy"`
 	Shards   int     `json:"shards"`
 	Writers  int     `json:"writers"`
@@ -270,9 +273,9 @@ func flush() {
 				fail("csv: %v", err)
 			}
 		}
-		writeRow("bench", "strategy", "shards", "writers", "scanners", "touch", "metric", "value")
+		writeRow("bench", "mix", "strategy", "shards", "writers", "scanners", "touch", "metric", "value")
 		for _, r := range records {
-			writeRow(r.Bench, r.Strategy,
+			writeRow(r.Bench, r.Mix, r.Strategy,
 				dimStr(r.Shards), dimStr(r.Writers), dimStr(r.Scanners), dimStr(r.Touch),
 				r.Metric, strconv.FormatFloat(r.Value, 'g', -1, 64))
 		}
@@ -450,49 +453,88 @@ func benchWrite(strats []ankerdb.SnapshotStrategy) {
 	textf("\n")
 }
 
-// benchMixed runs the paper's mixed workload: OLTP writers commit
-// random writes while OLAP scanners aggregate snapshotted columns.
-func benchMixed(strats []ankerdb.SnapshotStrategy) {
-	textf("== mixed workload (%d writers, %d scanners, refresh every %d commits, %v) ==\n",
-		*flagWriters, *flagScanners, *flagRefresh, *flagDur)
-	textf("%-10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
-		"strategy", "commits/s", "scans/s", "aborts", "snapshots", "staleness", "COW breaks")
-	for _, strat := range strats {
-		db := openLoaded(strat, *flagCols, ankerdb.WithSnapshotRefresh(*flagRefresh))
-		commits, scans, aborts, avgStale := runMixed(db, *flagWriters, *flagScanners, *flagDur)
-		st := db.Stats()
-		captureStats("mixed", st)
-		secs := flagDur.Seconds()
-		textf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
-			float64(commits)/secs, float64(scans)/secs,
-			aborts, st.SnapshotsCreated, avgStale, st.VM.COWBreaks)
-		base := record{Bench: "mixed", Strategy: string(strat), Shards: st.CommitShards,
-			Writers: *flagWriters, Scanners: *flagScanners, Touch: -1}
-		emitAll(base, []metric{
-			{"commits_per_sec", float64(commits) / secs},
-			{"scans_per_sec", float64(scans) / secs},
-			{"aborts", float64(aborts)},
-			{"snapshots", float64(st.SnapshotsCreated)},
-			{"staleness", avgStale},
-			{"cow_breaks", float64(st.VM.COWBreaks)},
-		})
-		if err := db.Close(); err != nil {
-			fail("close: %v", err)
+// parseMixes validates and splits -mix: "uniform" is the original
+// random-cell writer; the rest are internal/workload profiles.
+func parseMixes() []string {
+	var out []string
+	for _, m := range strings.Split(*flagMix, ",") {
+		m = strings.TrimSpace(m)
+		if m != "uniform" && !workload.Profile(m).Valid() {
+			fail("unknown mix %q (want uniform or one of %v)", m, workload.Profiles)
 		}
+		out = append(out, m)
 	}
-	textf("\n")
+	return out
+}
+
+// benchMixed runs the paper's mixed workload: OLTP writers commit
+// against OLAP scanners aggregating snapshotted columns, swept across
+// the -mix writer profiles — uniform random cells, the YCSB zipfian
+// read/update mixes, and the new-order/payment-style TPCC mix.
+func benchMixed(strats []ankerdb.SnapshotStrategy) {
+	for _, mix := range parseMixes() {
+		textf("== mixed workload (%s, %d writers, %d scanners, refresh every %d commits, %v) ==\n",
+			mix, *flagWriters, *flagScanners, *flagRefresh, *flagDur)
+		textf("%-10s  %10s  %10s  %8s  %10s  %10s  %10s\n",
+			"strategy", "commits/s", "scans/s", "aborts", "snapshots", "staleness", "COW breaks")
+		for _, strat := range strats {
+			db := openLoaded(strat, *flagCols, ankerdb.WithSnapshotRefresh(*flagRefresh))
+			commits, scans, aborts, avgStale := runMixed(db, mix, *flagWriters, *flagScanners, *flagDur)
+			st := db.Stats()
+			captureStats("mixed", st)
+			secs := flagDur.Seconds()
+			textf("%-10s  %10.0f  %10.0f  %8d  %10d  %10.1f  %10d\n", strat,
+				float64(commits)/secs, float64(scans)/secs,
+				aborts, st.SnapshotsCreated, avgStale, st.VM.COWBreaks)
+			base := record{Bench: "mixed", Mix: mix, Strategy: string(strat), Shards: st.CommitShards,
+				Writers: *flagWriters, Scanners: *flagScanners, Touch: -1}
+			emitAll(base, []metric{
+				{"commits_per_sec", float64(commits) / secs},
+				{"scans_per_sec", float64(scans) / secs},
+				{"aborts", float64(aborts)},
+				{"snapshots", float64(st.SnapshotsCreated)},
+				{"staleness", avgStale},
+				{"cow_breaks", float64(st.VM.COWBreaks)},
+			})
+			if err := db.Close(); err != nil {
+				fail("close: %v", err)
+			}
+		}
+		textf("\n")
+	}
 }
 
 // runMixed drives writers and scanners against db for dur and returns
 // the committed/scanned/aborted counts and average scanner staleness.
-func runMixed(db *ankerdb.DB, writers, scanners int, dur time.Duration) (commits, scans, aborts uint64, avgStale float64) {
+// mix selects the writer body; scanners are the same for every mix.
+func runMixed(db *ankerdb.DB, mix string, writers, scanners int, dur time.Duration) (commits, scans, aborts uint64, avgStale float64) {
 	var stop atomic.Bool
 	var cCommits, cScans, cAborts, staleness, staleSamples atomic.Uint64
 	var wg sync.WaitGroup
+	cols := make([]string, *flagCols)
+	for c := range cols {
+		cols[c] = colName(c)
+	}
 	for i := 0; i < writers; i++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			if mix != "uniform" {
+				g := workload.NewGen(workload.Profile(mix), seed, cols, *flagRows)
+				r := &workload.Runner{DB: db, Table: "bench", Cols: cols}
+				for !stop.Load() {
+					res, err := r.Apply(g.Next())
+					if err != nil {
+						return
+					}
+					if res.Committed {
+						cCommits.Add(1)
+					} else {
+						cAborts.Add(1)
+					}
+				}
+				return
+			}
 			rnd := rand.New(rand.NewSource(seed))
 			for !stop.Load() {
 				w, err := db.Begin(ankerdb.OLTP)

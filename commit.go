@@ -69,9 +69,10 @@ func (s *commitShard) drain() []*commitReq {
 
 // commitReq is one transaction waiting in a shard's group-commit queue.
 type commitReq struct {
-	st   *mvcc.TxnState
-	ts   uint64     // commit timestamp, set by the leader before the ack
-	errc chan error // buffered; receives the commit outcome exactly once
+	st     *mvcc.TxnState
+	epochs []tableEpoch // DDL epochs recorded at staging time (ddl.go)
+	ts     uint64       // commit timestamp, set by the leader before the ack
+	errc   chan error   // buffered; receives the commit outcome exactly once
 }
 
 func newCommitShards(n int) []*commitShard {
@@ -109,13 +110,16 @@ func (db *DB) txnShards(t *mvcc.TxnState) []int {
 // in-place materialisation with displaced versions pushed onto the
 // column version chains (write timestamp strictly before data, which
 // the lock-free read protocol in column.valueAt relies on).
-func (db *DB) commit(t *mvcc.TxnState) error {
+// epochs carries the DDL epochs the transaction recorded at staging
+// time; a drop or truncate of any recorded table since then aborts the
+// commit (ddlAborted) before anything installs.
+func (db *DB) commit(t *mvcc.TxnState, epochs []tableEpoch) error {
 	ids := db.txnShards(t)
 	if len(ids) == 1 {
-		return db.commitGrouped(db.shards[ids[0]], t)
+		return db.commitGrouped(db.shards[ids[0]], t, epochs)
 	}
 	db.st.crossShard.Add(1)
-	return db.commitCrossShard(ids, t)
+	return db.commitCrossShard(ids, t, epochs)
 }
 
 // commitGrouped commits a single-shard transaction through the shard's
@@ -126,8 +130,8 @@ func (db *DB) commit(t *mvcc.TxnState) error {
 // whose request was processed by an earlier leader drains whatever
 // newer requests queued meanwhile (possibly none) and then picks up its
 // own result.
-func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState) error {
-	req := &commitReq{st: t, errc: make(chan error, 1)}
+func (db *DB) commitGrouped(s *commitShard, t *mvcc.TxnState, epochs []tableEpoch) error {
+	req := &commitReq{st: t, epochs: epochs, errc: make(chan error, 1)}
 	s.qmu.Lock()
 	s.queue = append(s.queue, req)
 	s.qmu.Unlock()
@@ -222,6 +226,21 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 		// validation (HasReads). Earlier transactions of this batch
 		// have already added their records, so intra-batch conflicts
 		// are caught here too.
+		// The DDL epoch guard runs before validation: a table in the
+		// footprint that was dropped or truncated since staging would
+		// otherwise install into freed memory or resurrect truncated
+		// rows through the index. The epoch load is ordered after the
+		// DDL's bump by this shard's lock, which the DDL held.
+		if err := ddlAborted(req.epochs); err != nil {
+			db.st.conflicts.Add(1)
+			db.oracle.CompleteNoop(ts)
+			now := tr.Now()
+			validateTime += now - mark
+			mark = now
+			tr.RecordAt(telemetry.EvTxnAbort, int64(req.st.ID), telemetry.AbortConflict, int64(req.st.Begin), now)
+			req.errc <- err
+			continue
+		}
 		conflictTS := validate(s, req.st)
 		now := tr.Now()
 		validateTime += now - mark
@@ -278,7 +297,7 @@ func (db *DB) runBatch(s *commitShard, batch []*commitReq) {
 // shards: all involved shard locks are taken in ascending shard order
 // (deadlock-free by global ordering), the transaction validates against
 // each shard's recent commits, and its record is split per shard.
-func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
+func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState, epochs []tableEpoch) error {
 	shards := make([]*commitShard, len(ids))
 	tr := db.tel.rec
 	wait := tr.Now()
@@ -297,6 +316,16 @@ func (db *DB) commitCrossShard(ids []int, t *mvcc.TxnState) error {
 	db.st.commitBatches.Add(1)
 	db.st.groupSizes[groupSizeBucket(1)].Add(1)
 
+	// DDL epoch guard (see runBatch): any involved shard's lock orders
+	// the epoch load after a concurrent DDL's bump.
+	if err := ddlAborted(epochs); err != nil {
+		db.st.conflicts.Add(1)
+		now := tr.Now()
+		db.tel.commitValidate.Observe(now - mark)
+		tr.RecordAt(telemetry.EvTxnAbort, int64(t.ID), telemetry.AbortConflict, int64(t.Begin), now)
+		unlock()
+		return err
+	}
 	for _, s := range shards {
 		if conflictTS := validate(s, t); conflictTS != 0 {
 			db.st.conflicts.Add(1)
@@ -511,6 +540,9 @@ func (db *DB) vacuumShardChains(s *commitShard, floor uint64) int64 {
 	tabs := append([]*table(nil), db.tabList...)
 	db.mu.RUnlock()
 	for _, t := range tabs {
+		if t.dropped.Load() {
+			continue
+		}
 		for _, c := range t.cols {
 			if db.shards[db.shardOf(c.id)] != s {
 				continue

@@ -54,8 +54,9 @@ type DB struct {
 	// recoveredTxns/recoveredLoads are the numbers of WAL commit and
 	// bulk-load records replayed by Open; written once before the DB is
 	// shared, read by Stats.
-	recoveredTxns  uint64
-	recoveredLoads uint64
+	recoveredTxns    uint64
+	recoveredLoads   uint64
+	recoveredIndexes int
 
 	// Automatic checkpoint scheduling (channels nil when disabled):
 	// kickAutoCkpt wakes the scheduler past a WAL-growth threshold,
@@ -151,6 +152,28 @@ type table struct {
 	// cumulative insert/delete history that answers COUNT at any
 	// reachable timestamp in O(log n).
 	visLog atomic.Pointer[visLogState]
+
+	// Table-DDL barrier state (ddl.go). ddlEpoch is bumped by DropTable
+	// and Truncate under every shard commit lock; transactions record
+	// it when they first stage against the table and the commit path
+	// aborts any whose epoch moved — the guard that keeps a commit from
+	// installing into a dropped table's unmapped memory or resurrecting
+	// truncated rows through the index. dropped marks a tombstoned
+	// tabList slot: the name is released for re-creation but the slot
+	// index stays occupied, because WAL records and ColumnIDs address
+	// tables by slot. dropTS and freed are written and read only under
+	// every shard commit lock (or single-threaded recovery).
+	ddlEpoch atomic.Uint64
+	dropped  atomic.Bool
+	dropTS   uint64
+	freed    bool
+
+	// truncated is set by recovery when it replays a truncate marker:
+	// the killed rows (birth back to NeverTS) are indistinguishable
+	// from never-born ones, so rebuildRowState must be told not to
+	// infer the unmutated initial-rows fast path — which would
+	// resurrect exactly the rows the truncation discarded.
+	truncated bool
 }
 
 // reserve hands out an exclusive row slot for an insert: a reclaimed
@@ -379,6 +402,9 @@ func (db *DB) recomputeZones(floor uint64) {
 	tabs := append([]*table(nil), db.tabList...)
 	db.mu.RUnlock()
 	for _, t := range tabs {
+		if t.dropped.Load() {
+			continue
+		}
 		for _, c := range t.cols {
 			c.recomputeZones(floor)
 		}
@@ -418,7 +444,7 @@ func Open(opts ...Option) (*DB, error) {
 	db.snaps = newSnapManager(db, cfg.refreshEvery, cfg.maxAge)
 	db.oracle.SetCompleteHook(db.onComplete)
 	if cfg.durDir != "" {
-		wlog, err := wal.Open(cfg.durDir, len(db.shards), cfg.syncPolicy)
+		wlog, err := wal.OpenFS(cfg.durDir, len(db.shards), cfg.syncPolicy, cfg.fs)
 		if err != nil {
 			return nil, err
 		}
@@ -781,6 +807,15 @@ func (db *DB) Vacuum() int64 {
 	tabs := append([]*table(nil), db.tabList...)
 	db.mu.RUnlock()
 	for _, t := range tabs {
+		if t.dropped.Load() {
+			// A dropped table's storage frees once nothing can reach it
+			// anymore — the floor must lie strictly ABOVE the drop stamp,
+			// since a generation pinned exactly at it may still capture.
+			if t.dropTS < floor {
+				db.freeDropped(t)
+			}
+			continue
+		}
 		t.visLogCompact(floor)
 	}
 	// Recompute zone maps exactly now that reclaimed rows are out of the
@@ -791,6 +826,9 @@ func (db *DB) Vacuum() int64 {
 	// incarnation's at a reachable timestamp.
 	db.recomputeZones(floor)
 	for _, t := range tabs {
+		if t.dropped.Load() {
+			continue
+		}
 		for _, c := range t.cols {
 			if ix := c.idx.Load(); ix != nil {
 				ix.Prune(floor)
@@ -819,7 +857,7 @@ func (db *DB) reclaimRows(floor uint64) {
 	tabs := append([]*table(nil), db.tabList...)
 	db.mu.RUnlock()
 	for _, t := range tabs {
-		if !t.visMutated.Load() {
+		if t.dropped.Load() || !t.visMutated.Load() {
 			continue
 		}
 		birth, death := t.st.Birth(), t.st.Death()

@@ -1,0 +1,336 @@
+package ankerdb_test
+
+// Table-DDL tests: DropTable and Truncate live semantics (name release,
+// allocator reset, index reset, epoch-guard aborts of staged
+// transactions) and crash recovery of the schema-log DDL markers — with
+// checkpoints taken before and after the DDL, including the
+// drop-and-recreate-same-name case that exercises slot-addressed
+// checkpoint sections. Everything goes through the public API.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ankerdb"
+)
+
+func ddlSchema() ankerdb.Schema {
+	return ankerdb.Schema{
+		Table: "orders",
+		Columns: []ankerdb.ColumnDef{
+			{Name: "qty", Type: ankerdb.Int64},
+			{Name: "item", Type: ankerdb.Varchar},
+		},
+	}
+}
+
+func openDDLDurable(t *testing.T, dir string, opts ...ankerdb.Option) *ankerdb.DB {
+	t.Helper()
+	db, err := ankerdb.Open(append([]ankerdb.Option{
+		ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithCommitShards(4),
+		ankerdb.WithDurability(dir),
+		ankerdb.WithInitialSchema(ddlSchema(), 8),
+	}, opts...)...)
+	if err != nil {
+		t.Fatalf("open durable db: %v", err)
+	}
+	return db
+}
+
+// TestDropTableLifecycle: the name disappears immediately, double drops
+// fail cleanly, and a same-name re-creation is a fresh table.
+func TestDropTableLifecycle(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat)
+			defer db.Close()
+			insertOne(t, db, 42, "anvil")
+
+			if err := db.DropTable("orders"); err != nil {
+				t.Fatalf("DropTable: %v", err)
+			}
+			if err := db.DropTable("orders"); !errors.Is(err, ankerdb.ErrNoSuchTable) {
+				t.Fatalf("second DropTable = %v, want ErrNoSuchTable", err)
+			}
+			r, _ := db.Begin(ankerdb.OLAP)
+			if _, err := r.Aggregate("orders", "qty", ankerdb.Count); !errors.Is(err, ankerdb.ErrNoSuchTable) {
+				t.Fatalf("Count after drop = %v, want ErrNoSuchTable", err)
+			}
+			_ = r.Commit()
+
+			// Same name, different schema: a brand-new table with none of
+			// the old rows.
+			if err := db.CreateTable(ankerdb.Schema{
+				Table:   "orders",
+				Columns: []ankerdb.ColumnDef{{Name: "total", Type: ankerdb.Int64}},
+			}, 4); err != nil {
+				t.Fatalf("re-create: %v", err)
+			}
+			r2, _ := db.Begin(ankerdb.OLAP)
+			if n, err := r2.Aggregate("orders", "total", ankerdb.Count); err != nil || n != 4 {
+				t.Fatalf("Count(recreated) = %d, %v, want 4", n, err)
+			}
+			if _, err := r2.Get("orders", "qty", 0); !errors.Is(err, ankerdb.ErrNoSuchColumn) {
+				t.Fatalf("old column after re-create = %v, want ErrNoSuchColumn", err)
+			}
+			mustCommit(t, r2)
+		})
+	}
+}
+
+// TestTruncateLifecycle: the count collapses to zero, old rows stop
+// resolving, the allocator restarts at slot zero, and post-truncate
+// inserts are the only visible rows.
+func TestTruncateLifecycle(t *testing.T) {
+	for _, strat := range strategies {
+		t.Run(string(strat), func(t *testing.T) {
+			db := openGrowDB(t, strat)
+			defer db.Close()
+			old := insertOne(t, db, 42, "anvil")
+
+			if err := db.Truncate("orders"); err != nil {
+				t.Fatalf("Truncate: %v", err)
+			}
+			r, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r); n != 0 {
+				t.Fatalf("Count after truncate = %d, want 0", n)
+			}
+			if _, err := r.Get("orders", "qty", old); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+				t.Fatalf("Get(pre-truncate row) = %v, want ErrRowNotVisible", err)
+			}
+			mustCommit(t, r)
+
+			row := insertOne(t, db, 7, "nail")
+			if row != 0 {
+				t.Fatalf("post-truncate insert landed on row %d, want 0", row)
+			}
+			r2, _ := db.Begin(ankerdb.OLAP)
+			if n := count(t, r2); n != 1 {
+				t.Fatalf("Count after re-insert = %d, want 1", n)
+			}
+			if rows, err := r2.Filter("orders", "qty", 7, 7); err != nil || len(rows) != 1 || rows[0] != row {
+				t.Fatalf("Filter(7) = %v, %v, want [%d]", rows, err, row)
+			}
+			if rows, err := r2.Filter("orders", "qty", 42, 42); err != nil || len(rows) != 0 {
+				t.Fatalf("Filter(42) = %v, %v, want none", rows, err)
+			}
+			mustCommit(t, r2)
+		})
+	}
+}
+
+// TestTruncateResetsIndex: a secondary index survives a truncation as
+// an empty index — post-truncate probes see exactly the post-truncate
+// rows, never resurrected pre-truncate entries.
+func TestTruncateResetsIndex(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+	if err := db.CreateIndex("orders", "qty", ankerdb.Hash); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		insertOne(t, db, 500, "bulk")
+	}
+	if err := db.Truncate("orders"); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	row := insertOne(t, db, 500, "fresh")
+	r, _ := db.Begin(ankerdb.OLAP)
+	rows, err := r.Filter("orders", "qty", 500, 500)
+	if err != nil || len(rows) != 1 || rows[0] != row {
+		t.Fatalf("Filter(500) after truncate = %v, %v, want [%d]", rows, err, row)
+	}
+	mustCommit(t, r)
+}
+
+// TestDDLAbortsStagedTransactions: a transaction that staged against a
+// table before its truncation or drop must abort at commit — installing
+// would resurrect truncated rows or write freed memory.
+func TestDDLAbortsStagedTransactions(t *testing.T) {
+	db := openGrowDB(t, ankerdb.VMSnap)
+	defer db.Close()
+
+	w, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set("orders", "qty", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Truncate("orders"); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := w.Commit(); !errors.Is(err, ankerdb.ErrConflict) {
+		t.Fatalf("Commit across truncate = %v, want ErrConflict", err)
+	}
+
+	w2, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Insert("orders", map[string]any{"qty": int64(1), "item": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("orders"); err != nil {
+		t.Fatalf("DropTable: %v", err)
+	}
+	if err := w2.Commit(); !errors.Is(err, ankerdb.ErrNoSuchTable) {
+		t.Fatalf("Commit across drop = %v, want ErrNoSuchTable", err)
+	}
+}
+
+// TestDropTableRecovery: the drop marker replays exactly once, with and
+// without a pre-drop checkpoint, including a same-name re-creation whose
+// state must never bleed into (or load from) the dropped incarnation's
+// checkpoint section.
+func TestDropTableRecovery(t *testing.T) {
+	for _, ckpt := range []bool{false, true} {
+		t.Run(fmt.Sprintf("checkpoint=%v", ckpt), func(t *testing.T) {
+			dir := t.TempDir()
+			db := openDDLDurable(t, dir)
+			insertOne(t, db, 42, "anvil")
+			if ckpt {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+			}
+			if err := db.DropTable("orders"); err != nil {
+				t.Fatalf("DropTable: %v", err)
+			}
+			if err := db.CreateTable(ankerdb.Schema{
+				Table:   "orders",
+				Columns: []ankerdb.ColumnDef{{Name: "total", Type: ankerdb.Int64}},
+			}, 4); err != nil {
+				t.Fatalf("re-create: %v", err)
+			}
+			w, _ := db.Begin(ankerdb.OLTP)
+			if err := w.Set("orders", "total", 0, 77); err != nil {
+				t.Fatal(err)
+			}
+			mustCommit(t, w)
+			if err := db.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			db2 := openDDLDurable(t, dir)
+			defer db2.Close()
+			r, _ := db2.Begin(ankerdb.OLAP)
+			if n, err := r.Aggregate("orders", "total", ankerdb.Count); err != nil || n != 4 {
+				t.Fatalf("recovered Count = %d, %v, want 4", n, err)
+			}
+			if v, err := r.Get("orders", "total", 0); err != nil || v != 77 {
+				t.Fatalf("recovered Get = %d, %v, want 77", v, err)
+			}
+			if _, err := r.Get("orders", "qty", 0); !errors.Is(err, ankerdb.ErrNoSuchColumn) {
+				t.Fatalf("dropped incarnation's column = %v, want ErrNoSuchColumn", err)
+			}
+			mustCommit(t, r)
+		})
+	}
+}
+
+// TestDropTableRecoveryNoRecreate: a dropped table stays dropped across
+// recovery and its name is free for a fresh CreateTable.
+func TestDropTableRecoveryNoRecreate(t *testing.T) {
+	dir := t.TempDir()
+	db := openDDLDurable(t, dir)
+	insertOne(t, db, 42, "anvil")
+	if err := db.DropTable("orders"); err != nil {
+		t.Fatalf("DropTable: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen WITHOUT the initial schema: WithInitialSchema is
+	// declarative and would simply re-create the missing table.
+	db2, err := ankerdb.Open(
+		ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+		ankerdb.WithCostModel(ankerdb.ZeroCost),
+		ankerdb.WithCommitShards(4),
+		ankerdb.WithDurability(dir),
+	)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	r, _ := db2.Begin(ankerdb.OLAP)
+	if _, err := r.Aggregate("orders", "qty", ankerdb.Count); !errors.Is(err, ankerdb.ErrNoSuchTable) {
+		t.Fatalf("recovered dropped table = %v, want ErrNoSuchTable", err)
+	}
+	_ = r.Commit()
+	if err := db2.CreateTable(ddlSchema(), 2); err != nil {
+		t.Fatalf("CreateTable after recovered drop: %v", err)
+	}
+	r2, _ := db2.Begin(ankerdb.OLAP)
+	if n, err := r2.Aggregate("orders", "qty", ankerdb.Count); err != nil || n != 2 {
+		t.Fatalf("fresh table Count = %d, %v, want 2", n, err)
+	}
+	mustCommit(t, r2)
+}
+
+// TestTruncateRecovery: the truncate marker's timestamp decides exactly
+// which replayed rows it kills — pre-truncate commits die, post-truncate
+// commits survive — whether the surviving checkpoint was taken before
+// the truncate, after it, or never.
+func TestTruncateRecovery(t *testing.T) {
+	for _, mode := range []string{"none", "before", "after"} {
+		t.Run("checkpoint="+mode, func(t *testing.T) {
+			dir := t.TempDir()
+			db := openDDLDurable(t, dir)
+			preA := insertOne(t, db, 100, "pre")
+			insertOne(t, db, 101, "pre")
+			if mode == "before" {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+			}
+			if err := db.Truncate("orders"); err != nil {
+				t.Fatalf("Truncate: %v", err)
+			}
+			insertOne(t, db, 200, "post")
+			insertOne(t, db, 201, "post")
+			if mode == "after" {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			db2 := openDDLDurable(t, dir)
+			defer db2.Close()
+			r, _ := db2.Begin(ankerdb.OLAP)
+			if n, err := r.Aggregate("orders", "qty", ankerdb.Count); err != nil || n != 2 {
+				t.Fatalf("recovered Count = %d, %v, want 2", n, err)
+			}
+			for _, want := range []int64{200, 201} {
+				if rows, err := r.Filter("orders", "qty", want, want); err != nil || len(rows) != 1 {
+					t.Fatalf("Filter(%d) = %v, %v, want one row", want, rows, err)
+				}
+			}
+			if rows, err := r.Filter("orders", "qty", 100, 101); err != nil || len(rows) != 0 {
+				t.Fatalf("pre-truncate rows resurrected: %v, %v", rows, err)
+			}
+			if _, err := r.Get("orders", "qty", preA); !errors.Is(err, ankerdb.ErrRowNotVisible) {
+				t.Fatalf("Get(pre-truncate row) = %v, want ErrRowNotVisible", err)
+			}
+			mustCommit(t, r)
+
+			// The recovered table keeps working transactionally.
+			row := insertOne(t, db2, 300, "post-recovery")
+			r2, _ := db2.Begin(ankerdb.OLAP)
+			if n, err := r2.Aggregate("orders", "qty", ankerdb.Count); err != nil || n != 3 {
+				t.Fatalf("post-recovery Count = %d, %v, want 3", n, err)
+			}
+			if v, err := r2.Get("orders", "qty", row); err != nil || v != 300 {
+				t.Fatalf("post-recovery Get = %d, %v, want 300", v, err)
+			}
+			mustCommit(t, r2)
+		})
+	}
+}

@@ -31,13 +31,19 @@
 //   - internal/telemetry: lock-free observability primitives — atomic
 //     log2-bucketed latency histograms on every hot phase and an
 //     always-on flight-recorder ring of structured trace events
+//   - internal/fault: the injectable file system the durability stack
+//     runs over — a passthrough by default (fault.OS, one interface
+//     call of overhead), or a scripted adversary with a seeded
+//     crash/torn-write/short-write/fsync-lie schedule for the
+//     deterministic crash-recovery harness (substituted via the
+//     test-only WithFS option)
 //
 // Open-time options: WithSnapshotStrategy, WithCostModel,
 // WithPageSize, WithSnapshotRefresh, WithSnapshotMaxAge,
 // WithInitialSchema, WithCommitShards, WithGroupCommitMaxWait,
 // WithDurability, WithSyncPolicy, WithAutoCheckpoint,
 // WithAutoCheckpointInterval, WithSlowQueryThreshold,
-// WithMetricsServer.
+// WithMetricsServer, WithFS (test-only fault injection).
 //
 // Short modifying OLTP transactions stage writes locally, validate
 // against recently committed writers at commit (precision locking, so
@@ -58,6 +64,20 @@
 // the visibility arrays are virtually snapshotted fine-granularly
 // like any other column. Rows outside the visible set fail with
 // ErrRowNotVisible (which also matches ErrRowRange under errors.Is).
+//
+// Tables are also droppable: DB.DropTable removes a table (chunks
+// unmapped once unreachable, name reusable) and DB.Truncate empties
+// one (schema and declared indexes survive). Both append torn-tail-safe
+// marker records to the durable schema log and replay exactly once at
+// recovery; a transaction that staged against the old incarnation
+// fails its commit with ErrNoSuchTable/ErrConflict instead of writing
+// into the new one.
+//
+// Crash recovery is observable and typed: DB.RecoveryReport returns
+// what Open-time recovery did (replayed transactions and loads,
+// torn-tail bytes cut off, indexes rebuilt), and an Open that fails on
+// genuinely damaged state returns an error matching ErrCorruptWAL or
+// ErrCorruptCheckpoint under errors.Is, naming the file and offset.
 //
 // A minimal session:
 //

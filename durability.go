@@ -91,9 +91,16 @@ func (db *DB) Checkpoint() error {
 	// Capture the table list only after the generation's timestamp is
 	// pinned: any table created from here on can only receive commit
 	// timestamps above it, so its rows are fully covered by the WAL
-	// records the truncation below g.ts retains.
+	// records the truncation below g.ts retains. Dropped slots are
+	// skipped — their drop record survives in the schema log and replay
+	// re-drops whatever state an older checkpoint would have carried.
 	db.mu.RLock()
-	tabs := append([]*table(nil), db.tabList...)
+	tabs := make([]*table, 0, len(db.tabList))
+	for _, t := range db.tabList {
+		if !t.dropped.Load() {
+			tabs = append(tabs, t)
+		}
+	}
 	db.mu.RUnlock()
 
 	err := db.wal.WriteCheckpoint(g.ts, len(tabs), func(w *wal.CheckpointWriter) error {
@@ -123,7 +130,7 @@ func (db *DB) Checkpoint() error {
 					rows = cs.rows()
 				}
 			}
-			if err := w.BeginTable(schema.Table, rows, len(t.cols)); err != nil {
+			if err := w.BeginTable(t.idx, schema.Table, rows, len(t.cols)); err != nil {
 				return err
 			}
 			for _, cs := range snaps {
@@ -235,6 +242,42 @@ func (db *DB) autoCheckpointer(interval time.Duration) {
 	}
 }
 
+// RecoveryReport summarizes what Open-time crash recovery did. All
+// fields are zero for a database opened without WithDurability or onto
+// an empty directory.
+type RecoveryReport struct {
+	// ReplayedTxns is the number of WAL commit records re-applied
+	// (records fully covered by the checkpoint are not counted).
+	ReplayedTxns uint64
+	// ReplayedLoads is the number of bulk-load chunk records re-applied.
+	ReplayedLoads uint64
+	// TailBytes is the total number of torn-tail bytes cut off across
+	// all replayed log files: bytes past the last intact frame of a
+	// segment, the residue of a crash mid-append. A torn tail is
+	// expected, not corruption — the commits it held never reported
+	// durable.
+	TailBytes uint64
+	// RebuiltIndexes is the number of secondary indexes rebuilt from
+	// the recovered arrays (index entries are never logged; existence
+	// replays from the schema log, contents rebuild at Open).
+	RebuiltIndexes int
+}
+
+// RecoveryReport reports what crash recovery did when this database
+// was opened. The report is written once during Open, before the DB is
+// shared, so it is safe to read at any time.
+func (db *DB) RecoveryReport() RecoveryReport {
+	r := RecoveryReport{
+		ReplayedTxns:   db.recoveredTxns,
+		ReplayedLoads:  db.recoveredLoads,
+		RebuiltIndexes: db.recoveredIndexes,
+	}
+	if db.wal != nil {
+		r.TailBytes = db.wal.TailBytes()
+	}
+	return r
+}
+
 // loadChunkRows bounds one bulk-load WAL record: large loads become a
 // series of window records, so replay (and the torn-tail blast radius)
 // stays O(chunk) however big the load is.
@@ -301,7 +344,18 @@ func (db *DB) recover() error {
 	db.recovering = true
 	defer func() { db.recovering = false }()
 
-	if err := db.wal.ReplaySchema(func(tr wal.TableRecord) error {
+	// Table-DDL markers (drop/truncate) are collected in log order and
+	// applied only after the checkpoint and WAL are replayed: each
+	// marker's timestamp then decides exactly which recovered rows it
+	// covers, making replay correct whether the surviving checkpoint
+	// predates or postdates the DDL.
+	type pendingDDL struct {
+		slot int
+		op   uint8
+		ts   uint64
+	}
+	var ddl []pendingDDL
+	if err := db.wal.ReplaySchemaDDL(func(tr wal.TableRecord) error {
 		schema := Schema{Table: tr.Name}
 		for _, c := range tr.Columns {
 			schema.Columns = append(schema.Columns, ColumnDef{Name: c.Name, Type: ColumnType(c.Type), Index: IndexKind(c.Index)})
@@ -325,6 +379,18 @@ func (db *DB) recover() error {
 			t.cols[i].idx.Store(nil)
 		} else if kind := IndexKind(ir.Kind); kind.Valid() {
 			t.cols[i].idx.Store(index.New(kind, 0))
+		}
+		return nil
+	}, func(dr wal.TableDDLRecord) error {
+		t := db.tables[dr.Name]
+		if t == nil {
+			return nil // out-of-prefix, skipped like index DDL
+		}
+		ddl = append(ddl, pendingDDL{slot: t.idx, op: dr.Op, ts: dr.TS})
+		if dr.Op == wal.TableDDLDrop {
+			// Release the name now so a later re-creation record in the
+			// log replays against a free name; the slot stays occupied.
+			delete(db.tables, dr.Name)
 		}
 		return nil
 	}); err != nil {
@@ -435,6 +501,26 @@ func (db *DB) recover() error {
 	}
 
 	db.applyVisOps(visOps)
+	// Re-apply table DDL in log order over the fully replayed arrays.
+	// The oracle seed must clear every DDL stamp too: otherwise a
+	// commit issued after recovery could land at or below a truncate's
+	// timestamp and be killed by the NEXT recovery's replay of it.
+	for _, d := range ddl {
+		if d.ts > maxTS {
+			maxTS = d.ts
+		}
+		t := db.tabList[d.slot]
+		switch d.op {
+		case wal.TableDDLTruncate:
+			t.visMutated.Store(true)
+			t.truncated = true
+			truncateRows(t, d.ts)
+		case wal.TableDDLDrop:
+			t.dropTS = d.ts
+			t.dropped.Store(true)
+			db.freeDropped(t)
+		}
+	}
 	db.rebuildRowState()
 	// Replay wrote straight into the arrays without maintaining zone
 	// maps; rebuild them exactly while recovery is still single-threaded
@@ -494,11 +580,14 @@ func (db *DB) applyVisOps(visOps map[visKey][]visOp) {
 // or killed.
 func (db *DB) rebuildRowState() {
 	for _, t := range db.tabList {
+		if t.dropped.Load() {
+			continue
+		}
 		birth, death := t.st.Birth(), t.st.Death()
 		next := t.st.InitialRows()
 		var free []int
 		var live int64
-		mutated := false
+		mutated := t.truncated
 		for row, capacity := 0, t.st.Capacity(); row < capacity; row++ {
 			b, d := birth.GetU(row), death.GetU(row)
 			switch {
@@ -617,13 +706,21 @@ func (db *DB) loadCheckpoint() (uint64, uint64, error) {
 	}
 	ts, ok, err := db.wal.LoadCheckpoint(func(_ uint64, ntables int, r *wal.CheckpointReader) error {
 		for i := 0; i < ntables; i++ {
-			name, rows, cols, err := r.TableHeader()
+			slot, name, rows, cols, err := r.TableHeader()
 			if err != nil {
 				return err
 			}
-			t := db.tables[name]
-			if t == nil {
-				return fmt.Errorf("checkpointed table %q missing from schema log", name)
+			// Sections address tables by schema-log slot, not name: after
+			// a drop and same-name re-creation both incarnations replayed
+			// from the schema log, and a pre-drop checkpoint's section
+			// must load into the dropped incarnation's slot (the pending
+			// drop record then clears it), never the new table's.
+			if slot < 0 || slot >= len(db.tabList) {
+				return fmt.Errorf("checkpointed table %q claims slot %d of %d", name, slot, len(db.tabList))
+			}
+			t := db.tabList[slot]
+			if got := t.st.Schema().Table; got != name {
+				return fmt.Errorf("checkpointed table %q at slot %d, schema log says %q", name, slot, got)
 			}
 			if len(t.cols) != cols {
 				return fmt.Errorf("checkpointed table %q has %d columns, schema log says %d",

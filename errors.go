@@ -3,6 +3,8 @@ package ankerdb
 import (
 	"errors"
 	"fmt"
+
+	"ankerdb/internal/wal"
 )
 
 // Errors returned by the engine facade.
@@ -68,6 +70,25 @@ var (
 	// ErrIndexKind is returned by CreateIndex for an index kind that is
 	// neither Hash nor Ordered.
 	ErrIndexKind = errors.New("ankerdb: invalid index kind")
+)
+
+// Recovery corruption sentinels, re-exported from internal/wal so
+// callers can classify Open failures with errors.Is without importing
+// internal packages. The concrete error wrapping each sentinel names
+// the offending file and byte offset. Note what is NOT corruption: a
+// torn tail — a partially written final frame — is the expected
+// residue of a crash, silently cut off and counted in
+// RecoveryReport.TailBytes.
+var (
+	// ErrCorruptWAL matches recovery failures caused by an undecodable
+	// write-ahead-log or schema-log record: an unsupported segment
+	// header, or a CRC-valid frame whose payload does not decode.
+	ErrCorruptWAL = wal.ErrCorruptWAL
+
+	// ErrCorruptCheckpoint matches recovery failures caused by a
+	// damaged checkpoint file: bad magic, a missing trailer, a body
+	// that does not parse, or a checksum mismatch.
+	ErrCorruptCheckpoint = wal.ErrCorruptCheckpoint
 )
 
 // errRowRange builds the named ErrRowRange error for (table, column,

@@ -125,9 +125,13 @@ func (db *DB) DropIndex(tab, col string) error {
 // at floor 0 is deterministic and exact at every timestamp.
 func (db *DB) rebuildIndexes() {
 	for _, t := range db.tabList {
+		if t.dropped.Load() {
+			continue
+		}
 		for _, c := range t.cols {
 			if old := c.idx.Load(); old != nil {
 				c.idx.Store(buildColumnIndex(c, old.Kind(), 0))
+				db.recoveredIndexes++
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+// Package fault is the injectable file-system seam under the
+// durability stack. internal/wal performs every file operation —
+// segment appends, schema-log appends, checkpoint tmp+rename+dir-sync,
+// replay reads — through a fault.FS, so tests can substitute a
+// Scripted implementation that crashes the "disk" at a chosen
+// operation, tears the tail of the last frame, or lies about fsync,
+// all reproducibly from a seed.
+//
+// The default OS implementation is a zero-state passthrough: each
+// method is one call into package os, and the File it hands out is the
+// bare *os.File, so the commit-path fsync stays a single (virtual)
+// call away from the kernel and costs nothing when no faults are
+// armed.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durability stack uses. Appends
+// only ever go through Write; reads go through Read (replay streams)
+// and ReadAt (checkpoint trailer).
+type File interface {
+	io.Writer
+	io.Reader
+	io.ReaderAt
+	// Sync flushes the file to stable storage — or claims to.
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the file-system surface of the durability stack. Every method
+// mirrors the os package function of the same name; SyncDir opens the
+// directory and fsyncs it, making previously created/renamed entries
+// durable.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	SyncDir(path string) error
+}
+
+// OS is the passthrough FS: the real file system, no faults.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}

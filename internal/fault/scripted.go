@@ -1,0 +1,459 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ErrInjectedCrash is returned by every operation of a Scripted FS
+// once its crash point has tripped: from the engine's point of view
+// the machine lost power. The WAL reacts exactly as it would to a real
+// I/O error — it poisons itself — and the test then reopens the
+// directory with the real FS to exercise recovery.
+var ErrInjectedCrash = errors.New("fault: injected crash")
+
+// Plan is one adversarial schedule. Zero value = never crash, honest
+// disk.
+type Plan struct {
+	// CrashAfterOps trips the crash on the Nth mutating operation
+	// (write, sync, create, rename, remove, dir-sync); that operation
+	// fails and nothing after it reaches the disk. <= 0 never trips.
+	CrashAfterOps int64
+	// Torn lets a random prefix of the not-yet-durable tail survive
+	// the crash, cutting at an arbitrary byte — mid-frame, mid-CRC.
+	Torn bool
+	// Short restricts the surviving tail to a prefix of the last
+	// write: the write syscall itself persisted fewer bytes than it
+	// reported.
+	Short bool
+	// FsyncLie makes Sync report success without making anything
+	// durable: at the crash, data "fsynced" after the last honest
+	// sync is still thrown away.
+	FsyncLie bool
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("crashAfter=%d torn=%v short=%v fsyncLie=%v",
+		p.CrashAfterOps, p.Torn, p.Short, p.FsyncLie)
+}
+
+// Schedule derives a Plan from a seed: the crash point lands uniformly
+// in [1, maxOps] and each failure mode is armed by coin flip. The same
+// seed always yields the same Plan.
+func Schedule(seed int64, maxOps int64) Plan {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return Plan{
+		CrashAfterOps: 1 + rng.Int63n(maxOps),
+		Torn:          rng.Intn(2) == 0,
+		Short:         rng.Intn(2) == 0,
+		FsyncLie:      rng.Intn(3) == 0,
+	}
+}
+
+// Scripted is an FS that forwards to the real file system while
+// tracking, per file, how much of it would survive a power cut: the
+// durable length advances only on honest Syncs, created files and
+// renames stay volatile until the parent directory is synced. When the
+// plan's crash point trips, that model is applied to the real files —
+// volatile tails truncated (optionally torn mid-byte), un-synced
+// creates removed, un-synced renames undone — and every later
+// operation returns ErrInjectedCrash.
+//
+// All fault decisions come from one seeded PRNG and are appended to a
+// human-readable trace, so a (deterministic) workload replayed with
+// the same seed produces a byte-identical fault schedule.
+type Scripted struct {
+	plan Plan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int64
+	tripped bool
+	files   map[string]*fileState // every writable file ever opened, by path
+	renames []*renameState
+	trace   []string
+}
+
+type fileState struct {
+	path         string
+	f            *os.File // nil once closed
+	size         int64    // bytes written by the engine
+	durable      int64    // bytes surviving a crash (honest syncs only)
+	lastWriteOff int64    // offset of the final write, for Short cuts
+	pendingDir   bool     // created but parent dir never synced
+}
+
+type renameState struct {
+	oldpath, newpath string
+	pending          bool // parent dir never synced since
+}
+
+// NewScripted builds a Scripted FS executing plan, with crash-time
+// byte cuts drawn from a PRNG seeded with seed.
+func NewScripted(seed int64, plan Plan) *Scripted {
+	return &Scripted{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(seed)),
+		files: make(map[string]*fileState),
+	}
+}
+
+// Tripped reports whether the crash point has fired.
+func (s *Scripted) Tripped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tripped
+}
+
+// Trace returns the fault schedule so far: one line per decision the
+// FS took (op count at trip, per-file surviving lengths, fsync lies).
+// Two runs of the same workload under the same seed yield identical
+// traces.
+func (s *Scripted) Trace() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+func (s *Scripted) tracef(format string, args ...any) {
+	s.trace = append(s.trace, fmt.Sprintf(format, args...))
+}
+
+// step counts one mutating operation and trips the crash when the plan
+// says so. Callers hold s.mu. A true return means the operation must
+// fail with ErrInjectedCrash without touching the disk.
+func (s *Scripted) step() bool {
+	if s.tripped {
+		return true
+	}
+	s.ops++
+	if s.plan.CrashAfterOps > 0 && s.ops >= s.plan.CrashAfterOps {
+		s.trip()
+		return true
+	}
+	return false
+}
+
+// trip applies the durability model to the real files: undo renames
+// whose directory entry never became durable, truncate every file to
+// what survived, drop files whose creation was never synced. Iteration
+// is in deterministic order so the PRNG consumption — and therefore
+// the trace — is reproducible.
+func (s *Scripted) trip() {
+	s.tripped = true
+	s.tracef("crash at op %d", s.ops)
+	for i := len(s.renames) - 1; i >= 0; i-- {
+		r := s.renames[i]
+		if !r.pending {
+			continue
+		}
+		_ = os.Rename(r.newpath, r.oldpath)
+		s.tracef("undo rename %s -> %s", r.newpath, r.oldpath)
+	}
+	paths := make([]string, 0, len(s.files))
+	for p := range s.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st := s.files[p]
+		if st.f != nil {
+			_ = st.f.Close()
+			st.f = nil
+		}
+		if st.pendingDir {
+			_ = os.Remove(st.path)
+			s.tracef("drop unsynced create %s", st.path)
+			continue
+		}
+		surviving := s.survivingLen(st)
+		if surviving < st.size {
+			_ = os.Truncate(st.path, surviving)
+			s.tracef("truncate %s %d -> %d (durable %d)", st.path, st.size, surviving, st.durable)
+		}
+	}
+}
+
+// survivingLen picks how much of st outlives the crash: at least the
+// durable prefix, plus — under Torn/Short — a PRNG-chosen slice of the
+// volatile tail.
+func (s *Scripted) survivingLen(st *fileState) int64 {
+	if st.size <= st.durable {
+		return st.size
+	}
+	switch {
+	case s.plan.Short:
+		// A prefix of the last write made it to the platter.
+		lo := st.lastWriteOff
+		if lo < st.durable {
+			lo = st.durable
+		}
+		return lo + s.rng.Int63n(st.size-lo+1)
+	case s.plan.Torn:
+		// Any byte of the volatile tail can be the cut point.
+		return st.durable + s.rng.Int63n(st.size-st.durable+1)
+	default:
+		return st.durable
+	}
+}
+
+func (s *Scripted) MkdirAll(path string, perm os.FileMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.step() {
+		return ErrInjectedCrash
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (s *Scripted) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripped {
+		return nil, ErrInjectedCrash
+	}
+	if flag&os.O_CREATE != 0 {
+		if s.step() {
+			return nil, ErrInjectedCrash
+		}
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	st := s.files[name]
+	if st == nil {
+		fi, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		st = &fileState{
+			path:       name,
+			size:       fi.Size(),
+			durable:    fi.Size(), // pre-existing bytes are durable
+			pendingDir: fi.Size() == 0 && flag&os.O_CREATE != 0,
+		}
+		s.files[name] = st
+	}
+	st.f = f
+	return &scriptedFile{fs: s, st: st}, nil
+}
+
+func (s *Scripted) Create(name string) (File, error) {
+	return s.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o666)
+}
+
+func (s *Scripted) Open(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripped {
+		return nil, ErrInjectedCrash
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	// Read-only: no durability tracking, but reads still die post-trip.
+	return &scriptedFile{fs: s, st: &fileState{path: name, f: f}, readOnly: true}, nil
+}
+
+func (s *Scripted) Rename(oldpath, newpath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.step() {
+		return ErrInjectedCrash
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if st, ok := s.files[oldpath]; ok {
+		delete(s.files, oldpath)
+		st.path = newpath
+		s.files[newpath] = st
+	}
+	s.renames = append(s.renames, &renameState{oldpath: oldpath, newpath: newpath, pending: true})
+	return nil
+}
+
+func (s *Scripted) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.step() {
+		return ErrInjectedCrash
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	delete(s.files, name)
+	return nil
+}
+
+func (s *Scripted) ReadDir(name string) ([]os.DirEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripped {
+		return nil, ErrInjectedCrash
+	}
+	return os.ReadDir(name)
+}
+
+func (s *Scripted) Stat(name string) (os.FileInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripped {
+		return nil, ErrInjectedCrash
+	}
+	return os.Stat(name)
+}
+
+func (s *Scripted) SyncDir(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.step() {
+		return ErrInjectedCrash
+	}
+	// Directory entries under path become durable: creations stick,
+	// renames stick.
+	sep := path
+	if len(sep) == 0 || sep[len(sep)-1] != '/' {
+		sep += "/"
+	}
+	for p, st := range s.files {
+		if st.pendingDir && inDir(p, sep) {
+			st.pendingDir = false
+		}
+	}
+	for _, r := range s.renames {
+		if r.pending && inDir(r.newpath, sep) {
+			r.pending = false
+		}
+	}
+	return nil
+}
+
+// inDir reports whether path p sits directly in the directory whose
+// path (with trailing slash) is dir.
+func inDir(p, dir string) bool {
+	if len(p) <= len(dir) || p[:len(dir)] != dir {
+		return false
+	}
+	for _, c := range p[len(dir):] {
+		if c == '/' {
+			return false
+		}
+	}
+	return true
+}
+
+// scriptedFile forwards to the real file while keeping the durability
+// model current. Every mutating call steps the op counter.
+type scriptedFile struct {
+	fs       *Scripted
+	st       *fileState
+	readOnly bool
+}
+
+func (f *scriptedFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.step() {
+		return 0, ErrInjectedCrash
+	}
+	if f.st.f == nil {
+		return 0, os.ErrClosed
+	}
+	n, err := f.st.f.Write(p)
+	if n > 0 {
+		f.st.lastWriteOff = f.st.size
+		f.st.size += int64(n)
+	}
+	return n, err
+}
+
+func (f *scriptedFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.step() {
+		return ErrInjectedCrash
+	}
+	if f.st.f == nil {
+		return os.ErrClosed
+	}
+	if f.fs.plan.FsyncLie {
+		f.fs.tracef("fsync lie %s at %d (durable %d)", f.st.path, f.st.size, f.st.durable)
+		return nil
+	}
+	if err := f.st.f.Sync(); err != nil {
+		return err
+	}
+	f.st.durable = f.st.size
+	return nil
+}
+
+func (f *scriptedFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	tripped := f.fs.tripped
+	real := f.st.f
+	f.fs.mu.Unlock()
+	if tripped {
+		return 0, ErrInjectedCrash
+	}
+	if real == nil {
+		return 0, os.ErrClosed
+	}
+	return real.Read(p)
+}
+
+func (f *scriptedFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	tripped := f.fs.tripped
+	real := f.st.f
+	f.fs.mu.Unlock()
+	if tripped {
+		return 0, ErrInjectedCrash
+	}
+	if real == nil {
+		return 0, os.ErrClosed
+	}
+	return real.ReadAt(p, off)
+}
+
+func (f *scriptedFile) Stat() (os.FileInfo, error) {
+	f.fs.mu.Lock()
+	tripped := f.fs.tripped
+	real := f.st.f
+	f.fs.mu.Unlock()
+	if tripped {
+		return nil, ErrInjectedCrash
+	}
+	if real == nil {
+		return nil, os.ErrClosed
+	}
+	return real.Stat()
+}
+
+func (f *scriptedFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.st.f == nil {
+		return nil
+	}
+	err := f.st.f.Close()
+	f.st.f = nil
+	if f.fs.tripped {
+		return ErrInjectedCrash
+	}
+	return err
+}
+
+func (f *scriptedFile) Name() string { return f.st.path }

@@ -289,16 +289,26 @@ func (ix *Index) ProbeRange(lo, hi int64, ts uint64) (rows []int, ok bool) {
 	return rows, true
 }
 
-// EstimateRange estimates the rows a probe of [lo, hi] would return
-// at a current timestamp: the raw in-range entry count scaled by the
-// index's overall live fraction. Before the scaling, a churned index —
-// many death-stamped entries updates and deletes left behind that
-// Vacuum has not pruned yet — systematically over-estimated and could
-// spuriously fail the planner's selectivity gate. Probes at older
-// timestamps can still see death-stamped entries, so this is an
-// estimate, not an upper bound. ok mirrors ProbeRange's serveability
-// (ignoring the timestamp, which the caller checks via Valid).
-func (ix *Index) EstimateRange(lo, hi int64) (n int, ok bool) {
+// estimateSampleMax bounds the entries EstimateRange actually tests for
+// visibility per contiguous segment; larger segments are sampled at a
+// stride and scaled back up, keeping the estimate O(log n + samples)
+// however wide the range.
+const estimateSampleMax = 64
+
+// EstimateRange estimates the rows a probe of [lo, hi] at ts would
+// return: the in-range entries of each run segment (and the hash
+// bucket) have their visibility at ts tested — exactly below the sample
+// budget, by a strided sample scaled back up above it. Sampling WITHIN
+// the range is what makes the estimate track skewed churn: an index
+// whose dead entries concentrate in one value range (a hot key churned
+// by updates, a batch delete) estimates that range near zero even while
+// the index-wide live fraction stays high, so the planner's selectivity
+// gate stops routing probes into dead ranges — and keeps serving ranges
+// whose entries are live even when some other range churned. A strided
+// sample is an estimate, not a bound, in either direction. ok mirrors
+// ProbeRange's serveability (ignoring the build floor, which the caller
+// checks via Valid).
+func (ix *Index) EstimateRange(lo, hi int64, ts uint64) (n int, ok bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if lo > hi {
@@ -308,29 +318,44 @@ func (ix *Index) EstimateRange(lo, hi int64) (n int, ok bool) {
 		if lo != hi {
 			return 0, false
 		}
-		return ix.scaleLocked(len(ix.buckets[lo])), true
+		return sampleVisible(ix.buckets[lo], ts), true
 	}
 	for _, run := range ix.runs {
 		i := sort.Search(len(run), func(i int) bool { return run[i].val >= lo })
 		j := sort.Search(len(run), func(i int) bool { return run[i].val > hi })
-		n += j - i
+		n += sampleVisible(run[i:j], ts)
 	}
 	for i := range ix.buf {
-		if v := ix.buf[i].val; v >= lo && v <= hi {
+		if e := &ix.buf[i]; e.val >= lo && e.val <= hi && e.visibleAt(ts) {
 			n++
 		}
 	}
-	return ix.scaleLocked(n), true
+	return n, true
 }
 
-// scaleLocked scales a raw in-range entry count by the live fraction,
-// rounding up so a range with any live entries never estimates zero.
-// The caller holds ix.mu.
-func (ix *Index) scaleLocked(raw int) int {
-	if raw == 0 || ix.nLive >= ix.n {
-		return raw
+// sampleVisible estimates how many of seg's entries are visible at ts:
+// an exact count below the sample budget, a strided sample scaled back
+// up (rounding up, so any live sample keeps the estimate nonzero)
+// above it.
+func sampleVisible(seg []entry, ts uint64) int {
+	if len(seg) <= estimateSampleMax {
+		live := 0
+		for i := range seg {
+			if seg[i].visibleAt(ts) {
+				live++
+			}
+		}
+		return live
 	}
-	return int((int64(raw)*int64(ix.nLive) + int64(ix.n) - 1) / int64(ix.n))
+	stride := len(seg) / estimateSampleMax
+	live, sampled := 0, 0
+	for i := 0; i < len(seg); i += stride {
+		if seg[i].visibleAt(ts) {
+			live++
+		}
+		sampled++
+	}
+	return int((int64(live)*int64(len(seg)) + int64(sampled) - 1) / int64(sampled))
 }
 
 // Prune drops entries dead at or below floor — no live reader can see

@@ -103,10 +103,10 @@ func TestHashDeclinesRange(t *testing.T) {
 	if rows, ok := ix.ProbeRange(5, 5, 10); !ok || !reflect.DeepEqual(rows, []int{0}) {
 		t.Errorf("hash point range = %v/%v, want [0]/true", rows, ok)
 	}
-	if _, ok := ix.EstimateRange(1, 9); ok {
+	if _, ok := ix.EstimateRange(1, 9, 10); ok {
 		t.Error("hash index estimated a true range")
 	}
-	if n, ok := ix.EstimateRange(5, 5); !ok || n != 1 {
+	if n, ok := ix.EstimateRange(5, 5, 10); !ok || n != 1 {
 		t.Errorf("hash point estimate = %d/%v, want 1/true", n, ok)
 	}
 }
@@ -143,10 +143,10 @@ func TestOrderedRangeAcrossRuns(t *testing.T) {
 	if !sort.IntsAreSorted(rows) {
 		t.Fatal("range probe rows not ascending")
 	}
-	if est, ok := ix.EstimateRange(10, 19); !ok || est != inRange {
+	if est, ok := ix.EstimateRange(10, 19, 1); !ok || est != inRange {
 		t.Fatalf("EstimateRange = %d/%v, want %d/true", est, ok, inRange)
 	}
-	if est, ok := ix.EstimateRange(200, 300); !ok || est != 0 {
+	if est, ok := ix.EstimateRange(200, 300, 1); !ok || est != 0 {
 		t.Fatalf("empty EstimateRange = %d/%v, want 0/true", est, ok)
 	}
 }
@@ -244,7 +244,7 @@ func TestLiveLenAndChurnScaledEstimate(t *testing.T) {
 			t.Fatalf("%v: Len/LiveLen = %d/%d, want 100/100", k, ix.Len(), ix.LiveLen())
 		}
 		// Churn: kill three quarters. The raw entry count stays put, the
-		// live count tracks, and the estimate scales by the live fraction
+		// live count tracks, and the estimate samples in-range liveness
 		// instead of reporting the pre-churn 100.
 		for row := 0; row < 75; row++ {
 			if !ix.Kill(5, row, 2) {
@@ -254,7 +254,7 @@ func TestLiveLenAndChurnScaledEstimate(t *testing.T) {
 		if ix.Len() != 100 || ix.LiveLen() != 25 {
 			t.Fatalf("%v: churned Len/LiveLen = %d/%d, want 100/25", k, ix.Len(), ix.LiveLen())
 		}
-		if est, ok := ix.EstimateRange(5, 5); !ok || est != 25 {
+		if est, ok := ix.EstimateRange(5, 5, 3); !ok || est != 25 {
 			t.Errorf("%v: churned EstimateRange = %d/%v, want 25/true", k, est, ok)
 		}
 		// Old-timestamp probes still see the killed entries: the estimate
@@ -269,15 +269,41 @@ func TestLiveLenAndChurnScaledEstimate(t *testing.T) {
 		if ix.Len() != 25 || ix.LiveLen() != 25 {
 			t.Errorf("%v: pruned Len/LiveLen = %d/%d, want 25/25", k, ix.Len(), ix.LiveLen())
 		}
-		if est, ok := ix.EstimateRange(5, 5); !ok || est != 25 {
+		if est, ok := ix.EstimateRange(5, 5, 3); !ok || est != 25 {
 			t.Errorf("%v: pruned EstimateRange = %d/%v, want 25/true", k, est, ok)
 		}
 		// Ceiling: one live entry among many dead still estimates >= 1.
 		for row := 25; row < 99; row++ {
 			ix.Kill(5, row, 3)
 		}
-		if est, ok := ix.EstimateRange(5, 5); !ok || est < 1 {
+		if est, ok := ix.EstimateRange(5, 5, 4); !ok || est < 1 {
 			t.Errorf("%v: near-dead EstimateRange = %d/%v, want >= 1", k, est, ok)
 		}
+	}
+}
+
+// TestEstimateRangeSkewedChurn is the case index-wide scaling got
+// wrong: churn concentrated in one value range must drive THAT range's
+// estimate to zero while a fully live range keeps its exact count —
+// a global live fraction would smear the two together at 50% each.
+func TestEstimateRangeSkewedChurn(t *testing.T) {
+	ix := New(Ordered, 0)
+	for row := 0; row < 2000; row++ {
+		ix.Add(int64(row), row, 1)
+	}
+	for row := 1000; row < 2000; row++ {
+		if !ix.Kill(int64(row), row, 2) {
+			t.Fatalf("Kill(%d) missed live entry", row)
+		}
+	}
+	if est, ok := ix.EstimateRange(1000, 1999, 5); !ok || est != 0 {
+		t.Errorf("churned range estimate = %d/%v, want 0/true", est, ok)
+	}
+	if est, ok := ix.EstimateRange(0, 999, 5); !ok || est != 1000 {
+		t.Errorf("live range estimate = %d/%v, want 1000/true", est, ok)
+	}
+	// At a timestamp before the churn every entry is visible again.
+	if est, ok := ix.EstimateRange(1000, 1999, 1); !ok || est != 1000 {
+		t.Errorf("pre-churn-ts estimate = %d/%v, want 1000/true", est, ok)
 	}
 }

@@ -143,6 +143,21 @@ func (e *Extent) FillU(start, n int, v uint64) {
 	}
 }
 
+// Free unmaps every chunk of the extent. The caller must guarantee no
+// reader can still resolve the extent — live access or snapshot
+// first-touch capture of unmapped memory faults — which is what the
+// engine's drop protocol (GC floor above the drop timestamp) provides.
+// The chunk slice is reset so a stray Get fails loudly on the nil
+// slice instead of faulting in the simulated address space.
+func (e *Extent) Free() {
+	chunks := *e.chunks.Load()
+	empty := []WordArray{}
+	e.chunks.Store(&empty)
+	for _, w := range chunks {
+		w.Free()
+	}
+}
+
 // Regions returns the mapped range of every chunk, in row order. The
 // prefix of the returned slice is stable across growth (chunks are
 // append-only), so callers may slice it to a previously observed

@@ -199,6 +199,25 @@ func (t *Table) EnsureCapacity(n int) error {
 	return nil
 }
 
+// Free unmaps every extent of the table — data, write timestamps,
+// birth and death — returning all of its chunks to the simulated
+// physical memory. Called by DropTable once no reader (running
+// transaction or pinned snapshot generation) can still reach the
+// table; see Extent.Free for the safety contract.
+func (t *Table) Free() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.data {
+		e.Free()
+	}
+	for _, e := range t.wts {
+		e.Free()
+	}
+	t.birth.Free()
+	t.death.Free()
+	t.capacity.Store(0)
+}
+
 // Dict returns the table-wide VARCHAR dictionary.
 func (t *Table) Dict() *Dict { return t.dict }
 

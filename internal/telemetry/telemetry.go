@@ -218,6 +218,7 @@ const (
 	EvSlowQuery             // A=query id, C=duration nanos, Note=table
 	EvVacuum                // A=version nodes removed, C=duration nanos
 	EvRecovery              // A=txns replayed, B=loads replayed, C=nanos
+	EvTableDDL              // A=1 drop / 2 truncate, C=DDL timestamp, Note=table
 )
 
 // Abort reasons carried in EvTxnAbort's B payload.
@@ -255,6 +256,8 @@ func (k EventKind) String() string {
 		return "vacuum"
 	case EvRecovery:
 		return "recovery"
+	case EvTableDDL:
+		return "table.ddl"
 	}
 	return "none"
 }

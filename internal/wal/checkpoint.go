@@ -7,19 +7,24 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 )
 
 // Checkpoint file layout (all integers little-endian):
 //
-//	"ANKCKPT2"                    8-byte magic
+//	"ANKCKPT3"                    8-byte magic
 //	ts u64                        checkpoint timestamp (snapshot
 //	                              generation timestamp)
 //	ntables u32
 //	per table:
-//	  name (u32 len + bytes), rows u64, ncols u32
+//	  slot u32, name (u32 len + bytes), rows u64, ncols u32
+//	  (slot is the table's schema-log position — the stable index
+//	  recovery addresses tables by. Names alone are ambiguous once
+//	  DropTable exists: a checkpoint written before a drop can
+//	  coexist with a re-created table of the same name, and its
+//	  section must load into the dropped incarnation's slot, not the
+//	  new one's.)
 //	  per column: rows raw u64 data words, rows raw u64 wts words
 //	  rows raw u64 birth words, rows raw u64 death words (the
 //	  visibility arrays of growable tables; rows is the table's
@@ -41,7 +46,7 @@ import (
 // incomplete.
 
 var (
-	ckptMagic   = []byte("ANKCKPT2")
+	ckptMagic   = []byte("ANKCKPT3")
 	ckptTrailer = []byte("ANKCKPTE")
 )
 
@@ -85,10 +90,12 @@ func (w *CheckpointWriter) str(s string) {
 	_, _ = w.Write([]byte(s))
 }
 
-// BeginTable writes one table's header (identity and geometry). The
-// caller must follow with exactly cols (data, wts) column-word streams
-// of rows words each, then FinishTable.
-func (w *CheckpointWriter) BeginTable(name string, rows, cols int) error {
+// BeginTable writes one table's header (identity and geometry): slot
+// is the table's schema-log position, the index recovery resolves the
+// section by. The caller must follow with exactly cols (data, wts)
+// column-word streams of rows words each, then FinishTable.
+func (w *CheckpointWriter) BeginTable(slot int, name string, rows, cols int) error {
+	w.u32(uint32(slot))
 	w.str(name)
 	w.u64(uint64(rows))
 	w.u32(uint32(cols))
@@ -120,13 +127,13 @@ func (l *Log) WriteCheckpoint(ts uint64, ntables int, stream func(w *CheckpointW
 		return err
 	}
 	tmp := l.tmpCheckpointPath()
-	f, err := os.Create(tmp)
+	f, err := l.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	abort := func(err error) error {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = l.fs.Remove(tmp)
 		return err
 	}
 	w := &CheckpointWriter{bw: bufio.NewWriterSize(f, 1<<16), crc: crc32.NewIEEE()}
@@ -158,8 +165,8 @@ func (l *Log) WriteCheckpoint(ts uint64, ntables int, stream func(w *CheckpointW
 		return abort(err)
 	}
 	final := filepath.Join(l.dir, checkpointName(ts))
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	if err := l.fs.Rename(tmp, final); err != nil {
+		_ = l.fs.Remove(tmp)
 		return err
 	}
 	if err := l.syncDir(l.dir); err != nil {
@@ -172,7 +179,7 @@ func (l *Log) WriteCheckpoint(ts uint64, ntables int, stream func(w *CheckpointW
 	}
 	for _, c := range ckpts {
 		if c.path != final {
-			_ = os.Remove(c.path)
+			_ = l.fs.Remove(c.path)
 		}
 	}
 	return l.TruncateBelow(ts)
@@ -265,7 +272,12 @@ func (r *CheckpointReader) str() (string, error) {
 // TableHeader reads the next table section header written by
 // BeginTable. The caller must follow with exactly cols (data, wts)
 // column-word streams of rows words each, then TableDict.
-func (r *CheckpointReader) TableHeader() (name string, rows, cols int, err error) {
+func (r *CheckpointReader) TableHeader() (slot int, name string, rows, cols int, err error) {
+	var s32 uint32
+	if s32, err = r.u32(); err != nil {
+		return
+	}
+	slot = int(s32)
 	if name, err = r.str(); err != nil {
 		return
 	}
@@ -318,7 +330,7 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 		return 0, false, err
 	}
 	newest := ckpts[len(ckpts)-1]
-	f, err := os.Open(newest.path)
+	f, err := l.fs.Open(newest.path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -329,7 +341,7 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 	}
 	minLen := int64(len(ckptMagic) + 8 + 4 + ckptTrailerLen)
 	if fi.Size() < minLen {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: bad header", newest.path)
+		return 0, false, corruptCkpt(newest.path, 0, "bad header (%d bytes, want at least %d)", fi.Size(), minLen)
 	}
 	// Seal first: a file without the trailer magic was never completely
 	// written and must not be streamed into the tables at all.
@@ -338,7 +350,7 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 		return 0, false, err
 	}
 	if string(tail[4:]) != string(ckptTrailer) {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: missing trailer", newest.path)
+		return 0, false, corruptCkpt(newest.path, fi.Size()-ckptTrailerLen, "missing trailer")
 	}
 	wantCRC := binary.LittleEndian.Uint32(tail[:4])
 
@@ -350,7 +362,7 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 	l.notePeak(replayBufSize)
 	magic, err := r.take(len(ckptMagic))
 	if err != nil || string(magic) != string(ckptMagic) {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: bad header", newest.path)
+		return 0, false, corruptCkpt(newest.path, 0, "bad header")
 	}
 	ts, err = r.u64()
 	if err != nil {
@@ -361,15 +373,15 @@ func (l *Log) LoadCheckpoint(load func(ts uint64, ntables int, r *CheckpointRead
 		return 0, false, err
 	}
 	if err := load(ts, int(n32), r); err != nil {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: %w", newest.path, err)
+		return 0, false, corruptCkpt(newest.path, fi.Size()-ckptTrailerLen-r.remaining, "%v", err)
 	}
 	// Drain whatever the loader did not consume so the CRC covers the
 	// whole body, then compare against the sealed sum.
 	if _, err := io.Copy(io.Discard, r); err != nil && r.remaining > 0 {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: %w", newest.path, err)
+		return 0, false, corruptCkpt(newest.path, fi.Size()-ckptTrailerLen-r.remaining, "%v", err)
 	}
 	if r.crc.Sum32() != wantCRC {
-		return 0, false, fmt.Errorf("wal: checkpoint %s: checksum mismatch", newest.path)
+		return 0, false, corruptCkpt(newest.path, fi.Size()-ckptTrailerLen, "checksum mismatch")
 	}
 	return ts, true, nil
 }
@@ -389,7 +401,7 @@ type ckptref struct {
 
 // checkpoints lists checkpoint files sorted by timestamp.
 func (l *Log) checkpoints() ([]ckptref, error) {
-	ents, err := os.ReadDir(l.dir)
+	ents, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, err
 	}

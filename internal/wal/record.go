@@ -396,3 +396,61 @@ func decodeIndexDDL(payload []byte) (IndexDDLRecord, error) {
 func isIndexDDL(payload []byte) bool {
 	return len(payload) >= 4 && binary.LittleEndian.Uint32(payload) == indexDDLMarker
 }
+
+// tableDDLMarker distinguishes DropTable/Truncate records in the
+// shared schema log; like the index-DDL marker it is impossible as a
+// table-name length, so pre-DDL readers fail loudly instead of
+// misparsing.
+const tableDDLMarker uint32 = 0xFFFFFFFE
+
+// Table-DDL operations.
+const (
+	// TableDDLDrop removes the table: its WAL records are skipped at
+	// replay and its name becomes free for re-creation.
+	TableDDLDrop uint8 = 1
+	// TableDDLTruncate empties the table: every row committed before
+	// the record is discarded at replay, the schema survives.
+	TableDDLTruncate uint8 = 2
+)
+
+// TableDDLRecord is one DropTable (Op TableDDLDrop) or Truncate
+// (Op TableDDLTruncate) appended to the schema log. The schema log is
+// replayed in append order and never truncated, so the DDL applies
+// exactly once, between the creation it follows and any later
+// re-creation of the same name. TS is the oracle timestamp the DDL
+// committed at; a truncate discards exactly the rows committed at or
+// below it.
+type TableDDLRecord struct {
+	Name string
+	Op   uint8
+	TS   uint64
+}
+
+func (r TableDDLRecord) encode(dst []byte) []byte {
+	e := encoder{b: dst}
+	e.u32(tableDDLMarker)
+	e.u8(r.Op)
+	e.str(r.Name)
+	e.u64(r.TS)
+	return e.b
+}
+
+func decodeTableDDL(payload []byte) (TableDDLRecord, error) {
+	d := decoder{b: payload}
+	if m := d.u32(); d.err == nil && m != tableDDLMarker {
+		return TableDDLRecord{}, fmt.Errorf("wal: table-DDL marker %#x, want %#x", m, tableDDLMarker)
+	}
+	rec := TableDDLRecord{Op: d.u8()}
+	rec.Name = d.str()
+	rec.TS = d.u64()
+	if d.err == nil && rec.Op != TableDDLDrop && rec.Op != TableDDLTruncate {
+		return rec, fmt.Errorf("wal: unknown table-DDL op %d", rec.Op)
+	}
+	return rec, d.err
+}
+
+// isTableDDL reports whether a schema-log payload is a table-DDL
+// (DropTable/Truncate) record.
+func isTableDDL(payload []byte) bool {
+	return len(payload) >= 4 && binary.LittleEndian.Uint32(payload) == tableDDLMarker
+}

@@ -40,6 +40,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"ankerdb/internal/fault"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -101,8 +103,49 @@ var ErrLogFailed = errors.New("wal: log failed, refusing further appends (durabi
 // after Close would never be synced or closed.
 var ErrLogClosed = errors.New("wal: log closed")
 
+// ErrCorruptWAL is the sentinel every unrecoverable WAL defect matches
+// under errors.Is: a segment with an unsupported header, or a frame
+// whose CRC passed but whose payload does not decode. A torn tail is
+// NOT corruption — replay tolerates it and reports it via TailBytes.
+var ErrCorruptWAL = errors.New("wal: corrupt write-ahead log")
+
+// ErrCorruptCheckpoint is the sentinel every checkpoint defect matches
+// under errors.Is: bad header, missing trailer, body/seal checksum
+// mismatch, or a body that does not parse. A present-but-corrupt
+// checkpoint fails recovery outright — the WAL below its timestamp is
+// already truncated, so falling back would silently lose data.
+var ErrCorruptCheckpoint = errors.New("wal: corrupt checkpoint")
+
+// CorruptError carries the locus of a corruption: which file, at what
+// byte offset (-1 when the offset is not known), and what was wrong.
+// It unwraps to ErrCorruptWAL or ErrCorruptCheckpoint.
+type CorruptError struct {
+	Sentinel error  // ErrCorruptWAL or ErrCorruptCheckpoint
+	File     string // path of the corrupt file
+	Offset   int64  // byte offset of the defect, -1 if unknown
+	Detail   string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Offset < 0 {
+		return fmt.Sprintf("%v: %s: %s", e.Sentinel, e.File, e.Detail)
+	}
+	return fmt.Sprintf("%v: %s at offset %d: %s", e.Sentinel, e.File, e.Offset, e.Detail)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Sentinel }
+
+func corruptWAL(file string, off int64, format string, args ...any) error {
+	return &CorruptError{Sentinel: ErrCorruptWAL, File: file, Offset: off, Detail: fmt.Sprintf(format, args...)}
+}
+
+func corruptCkpt(file string, off int64, format string, args ...any) error {
+	return &CorruptError{Sentinel: ErrCorruptCheckpoint, File: file, Offset: off, Detail: fmt.Sprintf(format, args...)}
+}
+
 type Log struct {
 	dir    string
+	fs     fault.FS
 	policy SyncPolicy
 	shards []*shardLog
 	failed atomic.Bool // poisoned by the first append error
@@ -111,6 +154,11 @@ type Log struct {
 	bytes   atomic.Uint64 // record bytes appended (WAL + schema log)
 	records atomic.Uint64 // commit + load records appended to shard segments
 	fsyncs  atomic.Uint64 // fsyncs issued (segments, schema log, checkpoints)
+
+	// tailBytes sums, across every file replay streamed, the bytes
+	// between the last intact frame and the end of the file: the torn
+	// or unsynced tail recovery discarded. Zero on a clean shutdown.
+	tailBytes atomic.Uint64
 
 	// recoveryPeak is the high-water mark of transient buffer bytes the
 	// streaming recovery readers held (bufio windows + the largest
@@ -127,7 +175,7 @@ type Log struct {
 	OnSeal func(shard, records int, lastTS uint64)
 
 	schemaMu sync.Mutex
-	schema   *os.File
+	schema   fault.File
 
 	// sealedMax maps closed segment paths to the newest commit
 	// timestamp they contain, the input to checkpoint truncation. It is
@@ -144,7 +192,7 @@ type shardLog struct {
 	shard int
 
 	mu      sync.Mutex
-	f       *os.File
+	f       fault.File
 	path    string
 	seq     int // newest segment sequence number used or found on disk
 	lastTS  uint64
@@ -157,17 +205,42 @@ type shardLog struct {
 // sequence number — and a temporary checkpoint orphaned by a crash is
 // removed.
 func Open(dir string, shards int, policy SyncPolicy) (*Log, error) {
+	return OpenFS(dir, shards, policy, fault.OS)
+}
+
+// OpenFS is Open with an explicit file system — the fault-injection
+// seam. Production code uses Open (the real FS); the crash harness
+// passes a fault.Scripted to crash, tear, or fsync-lie the log's disk
+// on a seeded schedule. A nil fs means the real FS.
+func OpenFS(dir string, shards int, policy SyncPolicy, fs fault.FS) (*Log, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("wal: non-positive shard count %d", shards)
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+	if fs == nil {
+		fs = fault.OS
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
 		return nil, err
 	}
-	schema, err := os.OpenFile(filepath.Join(dir, "schema.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	schema, err := fs.OpenFile(filepath.Join(dir, "schema.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, policy: policy, schema: schema, sealedMax: map[string]uint64{}}
+	l := &Log{dir: dir, fs: fs, policy: policy, schema: schema, sealedMax: map[string]uint64{}}
+	// The schema log is the directory's root of trust: every segment
+	// and checkpoint record addresses tables by schema-log position.
+	// Its creation (and the wal/ subdirectory's) must outlive a crash
+	// before anything can depend on it, so the root directory entry is
+	// fsynced here — segment and checkpoint paths sync their own
+	// directories at each use, but nothing else covers this one.
+	if err := l.syncDir(dir); err != nil {
+		_ = schema.Close()
+		return nil, err
+	}
+	if err := l.discardOrphans(); err != nil {
+		_ = schema.Close()
+		return nil, err
+	}
 	segs, err := l.segments()
 	if err != nil {
 		_ = schema.Close()
@@ -182,8 +255,65 @@ func Open(dir string, shards int, policy SyncPolicy) (*Log, error) {
 	for i := 0; i < shards; i++ {
 		l.shards = append(l.shards, &shardLog{shard: i, seq: maxSeq[i]})
 	}
-	_ = os.Remove(l.tmpCheckpointPath())
+	_ = fs.Remove(l.tmpCheckpointPath())
 	return l, nil
+}
+
+// errSchemaNonEmpty is the sentinel discardOrphans uses to stop the
+// schema scan at the first intact record.
+var errSchemaNonEmpty = errors.New("wal: schema log has records")
+
+// discardOrphans removes shard segments and checkpoints left in a
+// directory whose schema log holds no intact record. Commit records
+// and checkpoint sections address tables by schema-log position, and
+// with no durable schema records those positions belong to whatever
+// schema the reopened database creates next — replaying the orphaned
+// files on a later Open would resurrect their rows into the new
+// tables. Schema appends are fsynced before any dependent record is
+// written, so this state is the residue of a crash on a disk that
+// lied about durability; recovery treats it as a crash before the
+// schema fsync: the dependent files never happened.
+func (l *Log) discardOrphans() error {
+	err := l.ReplaySchemaDDL(
+		func(TableRecord) error { return errSchemaNonEmpty },
+		func(IndexDDLRecord) error { return errSchemaNonEmpty },
+		func(TableDDLRecord) error { return errSchemaNonEmpty })
+	if errors.Is(err, errSchemaNonEmpty) {
+		return nil
+	}
+	if err != nil {
+		// A record that passed its CRC but failed to decode is durable
+		// content; keep the files and let recovery report the error.
+		return nil
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		if err := l.fs.Remove(sg.path); err != nil {
+			return err
+		}
+	}
+	cks, err := l.checkpoints()
+	if err != nil {
+		return err
+	}
+	for _, ck := range cks {
+		if err := l.fs.Remove(ck.path); err != nil {
+			return err
+		}
+	}
+	if len(segs) == 0 && len(cks) == 0 {
+		return nil
+	}
+	// The removals must be durable before the reopened database appends
+	// schema records: a crash that resurrected the segments after new
+	// tables claimed their slots would replay them into those tables.
+	if err := l.syncDir(filepath.Join(l.dir, "wal")); err != nil {
+		return err
+	}
+	return l.syncDir(l.dir)
 }
 
 // Dir returns the durability directory.
@@ -209,6 +339,11 @@ func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
 // bytes held while streaming this log's checkpoint and segments during
 // recovery (zero if no replay ran).
 func (l *Log) RecoveryPeakBytes() uint64 { return l.recoveryPeak.Load() }
+
+// TailBytes returns the total bytes replay discarded past the last
+// intact frame of each file it streamed — the torn or never-synced
+// tails a crash left behind. Zero after a clean shutdown.
+func (l *Log) TailBytes() uint64 { return l.tailBytes.Load() }
 
 // notePeak raises the recovery peak to at least n.
 func (l *Log) notePeak(n uint64) {
@@ -377,6 +512,31 @@ func (l *Log) AppendIndexDDL(rec IndexDDLRecord) error {
 	return nil
 }
 
+// AppendTableDDL appends a DropTable/Truncate marker record to the
+// schema log, fsynced like the other DDL records. Recovery replays the
+// schema log in order, so the drop or truncate applies exactly once,
+// after the creation it refers to and before any later re-creation of
+// the same name.
+func (l *Log) AppendTableDDL(rec TableDDLRecord) error {
+	if err := l.usable(); err != nil {
+		return err
+	}
+	l.schemaMu.Lock()
+	defer l.schemaMu.Unlock()
+	buf := appendFrame(nil, rec.encode(nil))
+	if _, err := l.schema.Write(buf); err != nil {
+		return l.poison(err)
+	}
+	l.bytes.Add(uint64(len(buf)))
+	if l.policy == SyncNone {
+		return nil
+	}
+	if err := l.sync(l.schema); err != nil {
+		return l.poison(err)
+	}
+	return nil
+}
+
 // replayBufSize is the bufio window streaming replay reads through:
 // together with the largest single record frame it bounds recovery's
 // transient memory, independent of segment or checkpoint size.
@@ -394,9 +554,11 @@ var segMagic = []byte("ANKWSEG3")
 // frameScanner streams length+CRC framed records out of a reader,
 // reusing one payload buffer. It stops (ok=false) at a clean EOF and
 // at a torn or corrupt tail alike, mirroring nextFrame's contract.
+// off is the byte offset just past the last intact frame.
 type frameScanner struct {
 	br  *bufio.Reader
 	buf []byte
+	off int64
 }
 
 // next returns the next intact frame payload. The returned slice is
@@ -421,40 +583,55 @@ func (fs *frameScanner) next() (payload []byte, ok bool) {
 	if crc32.ChecksumIEEE(payload) != crc {
 		return nil, false
 	}
+	fs.off += 8 + int64(n)
 	return payload, true
 }
 
-// replayFile streams path's intact frames to fn, stopping cleanly at
-// the first torn or corrupt frame, and returns with the file closed.
-// With withHeader (shard segments), the segMagic header is validated
-// first: a complete-but-wrong header is an unsupported-format error, a
-// short one means the segment was torn before its first record. Memory
-// held is the bufio window plus the largest frame — recorded in the
-// recovery peak.
-func (l *Log) replayFile(path string, withHeader bool, fn func(payload []byte) error) error {
-	f, err := os.Open(path)
+// replayFile streams path's intact frames to fn (with each frame's
+// starting byte offset), stopping cleanly at the first torn or corrupt
+// frame, and returns with the file closed. Bytes past the last intact
+// frame are counted into the discarded-tail total. With withHeader
+// (shard segments), the segMagic header is validated first: a
+// complete-but-wrong header is ErrCorruptWAL, a short one means the
+// segment was torn before its first record. Memory held is the bufio
+// window plus the largest frame — recorded in the recovery peak.
+func (l *Log) replayFile(path string, withHeader bool, fn func(off int64, payload []byte) error) error {
+	f, err := l.fs.Open(path)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = f.Close() }()
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
 	br := bufio.NewReaderSize(f, replayBufSize)
+	var base int64
 	if withHeader {
 		var hdr [8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if size > 0 {
+				l.tailBytes.Add(uint64(size))
+			}
 			return nil // empty or torn header: no durable records
 		}
 		if string(hdr[:]) != string(segMagic) {
-			return fmt.Errorf("wal: segment %s: unsupported format (header %q, want %q)", path, hdr[:], segMagic)
+			return corruptWAL(path, 0, "unsupported format (header %q, want %q)", hdr[:], segMagic)
 		}
+		base = int64(len(segMagic))
 	}
 	fs := &frameScanner{br: br}
 	for {
+		start := base + fs.off
 		payload, ok := fs.next()
 		if !ok {
 			l.notePeak(replayBufSize + uint64(cap(fs.buf)))
+			if consumed := base + fs.off; size > consumed {
+				l.tailBytes.Add(uint64(size - consumed))
+			}
 			return nil
 		}
-		if err := fn(payload); err != nil {
+		if err := fn(start, payload); err != nil {
 			return err
 		}
 	}
@@ -473,24 +650,41 @@ func (l *Log) ReplayTables(fn func(TableRecord) error) error {
 // order yields the tables in original index order and the set of
 // secondary indexes alive when the log was last written.
 func (l *Log) ReplaySchema(onTable func(TableRecord) error, onIndex func(IndexDDLRecord) error) error {
+	return l.ReplaySchemaDDL(onTable, onIndex, func(TableDDLRecord) error { return nil })
+}
+
+// ReplaySchemaDDL is ReplaySchema with the third schema-log record
+// kind surfaced: table-DDL markers (DropTable/Truncate) stream to
+// onDDL, interleaved in append order with the other two kinds, so a
+// replayer applying all three in sequence reconstructs exactly the
+// schema alive when the log was last written — each DDL exactly once.
+func (l *Log) ReplaySchemaDDL(onTable func(TableRecord) error, onIndex func(IndexDDLRecord) error, onDDL func(TableDDLRecord) error) error {
 	path := filepath.Join(l.dir, "schema.log")
-	if _, err := os.Stat(path); os.IsNotExist(err) {
+	if _, err := l.fs.Stat(path); os.IsNotExist(err) {
 		return nil
 	}
-	return l.replayFile(path, false, func(payload []byte) error {
+	return l.replayFile(path, false, func(off int64, payload []byte) error {
 		// CRC passed, so a malformed payload below is real corruption.
-		if isIndexDDL(payload) {
+		switch {
+		case isTableDDL(payload):
+			rec, err := decodeTableDDL(payload)
+			if err != nil {
+				return corruptWAL(path, off, "%v", err)
+			}
+			return onDDL(rec)
+		case isIndexDDL(payload):
 			rec, err := decodeIndexDDL(payload)
 			if err != nil {
-				return err
+				return corruptWAL(path, off, "%v", err)
 			}
 			return onIndex(rec)
+		default:
+			rec, err := decodeTable(payload)
+			if err != nil {
+				return corruptWAL(path, off, "%v", err)
+			}
+			return onTable(rec)
 		}
-		rec, err := decodeTable(payload)
-		if err != nil {
-			return err
-		}
-		return onTable(rec)
 	})
 }
 
@@ -510,9 +704,9 @@ func (l *Log) ReplayCommits(onLoad func(LoadRecord) error, onCommit func(CommitR
 	}
 	for _, sg := range segs {
 		var maxTS uint64
-		err := l.replayFile(sg.path, true, func(payload []byte) error {
+		err := l.replayFile(sg.path, true, func(off int64, payload []byte) error {
 			if len(payload) == 0 {
-				return fmt.Errorf("wal: segment %s: empty record", sg.path)
+				return corruptWAL(sg.path, off, "empty record")
 			}
 			// Replayed records seed the growth counters: the tail that
 			// survived this recovery counts toward the auto-checkpoint
@@ -525,20 +719,20 @@ func (l *Log) ReplayCommits(onLoad func(LoadRecord) error, onCommit func(CommitR
 			case recKindLoad:
 				rec, err := decodeLoad(payload)
 				if err != nil {
-					return fmt.Errorf("wal: segment %s: %w", sg.path, err)
+					return corruptWAL(sg.path, off, "%v", err)
 				}
 				return onLoad(rec)
 			case recKindCommit, recKindRowCommit:
 				rec, err := decodeCommit(payload)
 				if err != nil {
-					return fmt.Errorf("wal: segment %s: %w", sg.path, err)
+					return corruptWAL(sg.path, off, "%v", err)
 				}
 				if rec.TS > maxTS {
 					maxTS = rec.TS
 				}
 				return onCommit(rec)
 			default:
-				return fmt.Errorf("wal: segment %s: unknown record kind %d", sg.path, payload[0])
+				return corruptWAL(sg.path, off, "unknown record kind %d", payload[0])
 			}
 		})
 		if err != nil {
@@ -579,7 +773,7 @@ func (l *Log) TruncateBelow(ts uint64) error {
 	var firstErr error
 	for path, max := range l.sealedMax {
 		if max <= ts {
-			if err := os.Remove(path); err != nil && firstErr == nil {
+			if err := l.fs.Remove(path); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			delete(l.sealedMax, path)
@@ -638,7 +832,7 @@ func (l *Log) ensureSegment(s *shardLog) error {
 	}
 	s.seq++
 	s.path = filepath.Join(l.dir, "wal", segmentName(s.shard, s.seq))
-	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(s.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -662,7 +856,7 @@ func (l *Log) write(s *shardLog, buf []byte) error {
 	return nil
 }
 
-func (l *Log) sync(f *os.File) error {
+func (l *Log) sync(f fault.File) error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
@@ -673,18 +867,11 @@ func (l *Log) sync(f *os.File) error {
 // syncDir makes directory-entry changes (segment creation, removal,
 // checkpoint rename) durable.
 func (l *Log) syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
+	if err := l.fs.SyncDir(dir); err != nil {
 		return err
 	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		l.fsyncs.Add(1)
-	}
-	return err
+	l.fsyncs.Add(1)
+	return nil
 }
 
 func segmentName(shard, seq int) string {
@@ -698,7 +885,7 @@ type segref struct {
 
 // segments lists the WAL segment files sorted by (shard, seq).
 func (l *Log) segments() ([]segref, error) {
-	ents, err := os.ReadDir(filepath.Join(l.dir, "wal"))
+	ents, err := l.fs.ReadDir(filepath.Join(l.dir, "wal"))
 	if err != nil {
 		return nil, err
 	}

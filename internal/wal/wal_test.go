@@ -105,6 +105,11 @@ func TestReplayDispatchesRecordKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Anchor with a schema record so the reopen does not discard the
+	// segment as an orphan.
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 4}); err != nil {
+		t.Fatal(err)
+	}
 	loads := []LoadRecord{
 		{Table: 0, Col: 0, Start: 0, Vals: []int64{10, 20}},
 		{Table: 0, Col: 1, Start: 2, Strs: []string{"x"}, HasStrs: true},
@@ -203,7 +208,7 @@ func TestLoadOnlySegmentTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = l.WriteCheckpoint(1, 1, func(w *CheckpointWriter) error {
-		if err := w.BeginTable("t", 0, 0); err != nil {
+		if err := w.BeginTable(0, "t", 0, 0); err != nil {
 			return err
 		}
 		return w.FinishTable(nil)
@@ -257,6 +262,11 @@ func TestAppendReplayAcrossShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Anchor the directory: segments without any schema records are
+	// treated as orphans and discarded on the next Open.
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 1}); err != nil {
+		t.Fatal(err)
+	}
 	want := 0
 	for shard := 0; shard < 3; shard++ {
 		recs := testRecords(uint64(1+10*shard), 4)
@@ -297,14 +307,17 @@ func TestSyncPolicies(t *testing.T) {
 			fsyncs := l.Fsyncs()
 			switch p {
 			case SyncNone:
-				if fsyncs != 0 {
-					t.Fatalf("SyncNone issued %d fsyncs", fsyncs)
+				// Open always syncs the root directory once so the schema
+				// log's directory entry is durable; SyncNone skips all
+				// subsequent data and dir syncs.
+				if fsyncs != 1 {
+					t.Fatalf("SyncNone issued %d fsyncs, want 1", fsyncs)
 				}
 			case SyncGroup:
-				// One dir sync for segment creation + one data sync for
-				// the whole 8-record batch.
-				if fsyncs != 2 {
-					t.Fatalf("SyncGroup issued %d fsyncs, want 2", fsyncs)
+				// Root dir sync at open + one dir sync for segment
+				// creation + one data sync for the whole 8-record batch.
+				if fsyncs != 3 {
+					t.Fatalf("SyncGroup issued %d fsyncs, want 3", fsyncs)
 				}
 			case SyncAlways:
 				if fsyncs < 8 {
@@ -325,6 +338,11 @@ func TestTornTailReplay(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, 1, SyncGroup)
 	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor with a schema record so the reopen does not discard the
+	// segment as an orphan.
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.AppendCommits(0, testRecords(1, 5)); err != nil {
@@ -407,6 +425,11 @@ func TestCheckpointRoundtripAndTruncation(t *testing.T) {
 	}
 	defer l.Close()
 
+	// Anchor with a schema record so replayAllCount's reopen does not
+	// discard segments and checkpoints as orphans.
+	if err := l.AppendTable(TableRecord{Name: "t", Rows: 3}); err != nil {
+		t.Fatal(err)
+	}
 	if err := l.AppendCommits(0, testRecords(1, 3)); err != nil { // TS 1..3
 		t.Fatal(err)
 	}
@@ -416,7 +439,7 @@ func TestCheckpointRoundtripAndTruncation(t *testing.T) {
 
 	words := []uint64{7, 8, 9}
 	err = l.WriteCheckpoint(5, 1, func(w *CheckpointWriter) error {
-		if err := w.BeginTable("t", len(words), 1); err != nil {
+		if err := w.BeginTable(0, "t", len(words), 1); err != nil {
 			return err
 		}
 		for _, v := range words { // data words
@@ -441,12 +464,12 @@ func TestCheckpointRoundtripAndTruncation(t *testing.T) {
 		if ntables != 1 {
 			t.Fatalf("ntables = %d", ntables)
 		}
-		name, rows, cols, err := r.TableHeader()
+		slot, name, rows, cols, err := r.TableHeader()
 		if err != nil {
 			return err
 		}
-		if name != "t" || rows != 3 || cols != 1 {
-			t.Fatalf("table header: %q %d %d", name, rows, cols)
+		if slot != 0 || name != "t" || rows != 3 || cols != 1 {
+			t.Fatalf("table header: %d %q %d %d", slot, name, rows, cols)
 		}
 		for i := 0; i < 2*rows; i++ {
 			v, err := r.u64()
@@ -504,7 +527,7 @@ func TestCorruptCheckpointRejected(t *testing.T) {
 	}
 	defer l.Close()
 	err = l.WriteCheckpoint(3, 1, func(w *CheckpointWriter) error {
-		if err := w.BeginTable("t", 0, 0); err != nil {
+		if err := w.BeginTable(0, "t", 0, 0); err != nil {
 			return err
 		}
 		return w.FinishTable(nil)

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"errors"
+
+	"ankerdb"
+)
+
+// Result reports what one applied op actually did, with every
+// placement resolved: which rows the inserts landed in, which row a
+// DeleteOldest removed, and the values the reads returned. A caller
+// keeping an oracle of expected database state folds the op together
+// with its Result — the op alone does not say where inserts went.
+type Result struct {
+	Committed bool    // false: the transaction aborted on a write-write conflict
+	Inserted  []int   // row index per op.Inserts entry
+	Deleted   int     // row removed by DeleteOldest; -1 if none
+	ReadVals  []int64 // value per op.Reads entry
+}
+
+// Runner applies ops to one table of a database, tracking the rows its
+// own inserts created so DeleteOldest can retire them. Not safe for
+// concurrent use — give each worker its own Runner (their inserts land
+// in distinct rows, so runners only ever delete their own).
+type Runner struct {
+	DB    *ankerdb.DB
+	Table string
+	Cols  []string // must match the table's Int64 columns, in order
+
+	live []int // rows inserted and not yet deleted, oldest first
+}
+
+// Apply runs op inside a single transaction. A commit lost to a
+// write-write conflict returns Result{Committed: false} and a nil
+// error — contention is an expected outcome, not a failure. Any other
+// error (including an injected fault surfacing through the store)
+// aborts the transaction and is returned as-is; the caller decides
+// whether it is a crash signal or a test failure.
+func (r *Runner) Apply(op Op) (Result, error) {
+	res := Result{Deleted: -1}
+	txn, err := r.DB.Begin(ankerdb.OLTP)
+	if err != nil {
+		return res, err
+	}
+	for _, c := range op.Reads {
+		v, err := txn.Get(r.Table, c.Col, c.Row)
+		if err != nil {
+			_ = txn.Abort()
+			return res, err
+		}
+		res.ReadVals = append(res.ReadVals, v)
+	}
+	for _, w := range op.Writes {
+		if err := txn.Set(r.Table, w.Col, w.Row, w.Val); err != nil {
+			_ = txn.Abort()
+			return res, err
+		}
+	}
+	for _, vals := range op.Inserts {
+		m := make(map[string]any, len(r.Cols))
+		for i, col := range r.Cols {
+			m[col] = vals[i]
+		}
+		row, err := txn.Insert(r.Table, m)
+		if err != nil {
+			_ = txn.Abort()
+			return res, err
+		}
+		res.Inserted = append(res.Inserted, row)
+	}
+	if op.DeleteOldest && len(r.live) > 0 {
+		if err := txn.Delete(r.Table, r.live[0]); err != nil {
+			_ = txn.Abort()
+			return res, err
+		}
+		res.Deleted = r.live[0]
+	}
+	if err := txn.Commit(); err != nil {
+		if errors.Is(err, ankerdb.ErrConflict) {
+			return res, nil
+		}
+		return res, err
+	}
+	res.Committed = true
+	r.live = append(r.live, res.Inserted...)
+	if res.Deleted >= 0 {
+		r.live = r.live[1:]
+	}
+	return res, nil
+}
+
+// Live returns the runner's inserted-and-not-deleted rows, oldest
+// first. The slice is the runner's own — do not mutate it.
+func (r *Runner) Live() []int { return r.live }

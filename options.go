@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"ankerdb/internal/fault"
 	"ankerdb/internal/phys"
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/wal"
@@ -44,6 +45,7 @@ type config struct {
 	commitShards int // 0 = auto (GOMAXPROCS)
 	durDir       string
 	syncPolicy   SyncPolicy
+	fs           fault.FS // nil = the real file system
 
 	// Automatic checkpoint scheduling (0 = that trigger disabled).
 	autoCkptBytes    uint64
@@ -192,6 +194,18 @@ func WithDurability(dir string) Option {
 // WithSyncPolicy sets the WAL fsync policy (default SyncGroupOnly).
 func WithSyncPolicy(p SyncPolicy) Option {
 	return func(c *config) { c.syncPolicy = p }
+}
+
+// WithFS substitutes the file system the durability stack performs
+// every operation through — the fault-injection seam. It exists for
+// the crash harness: tests pass a fault.Scripted (internal/fault) to
+// crash, tear, or fsync-lie the WAL's disk on a seeded, reproducible
+// schedule, then reopen the directory without the option to exercise
+// recovery. nil (the default) selects the real file system through a
+// passthrough whose only cost is one interface call per operation.
+// Only meaningful together with WithDurability.
+func WithFS(fs fault.FS) Option {
+	return func(c *config) { c.fs = fs }
 }
 
 // WithAutoCheckpoint enables automatic checkpoint scheduling: a

@@ -209,8 +209,9 @@ func (s *snapTable) fillColumn(ci int, rowIDs []int64, out []int64) {
 	}
 }
 
-// indexProbeDen gates index probes on selectivity: a probe whose raw
-// entry estimate exceeds 1/indexProbeDen of the scan bound is declined
+// indexProbeDen gates index probes on selectivity: a probe whose
+// liveness-sampled entry estimate (at the snapshot's timestamp)
+// exceeds 1/indexProbeDen of the scan bound is declined
 // — reading that many rows point-wise loses to the sequential block
 // scan, and the zone maps still help the scan.
 const indexProbeDen = 4
@@ -227,7 +228,7 @@ func (s *snapTable) ProbeIndex(ci int, lo, hi int64) ([]int64, bool) {
 	if ix == nil || !ix.Valid(s.gen.ts) {
 		return nil, false
 	}
-	est, ok := ix.EstimateRange(lo, hi)
+	est, ok := ix.EstimateRange(lo, hi, s.gen.ts)
 	if !ok || est*indexProbeDen > s.bound {
 		return nil, false
 	}

@@ -280,6 +280,9 @@ func (db *DB) Stats() Stats {
 	tabs := append([]*table(nil), db.tabList...)
 	db.mu.RUnlock()
 	for _, t := range tabs {
+		if t.dropped.Load() {
+			continue
+		}
 		for _, c := range t.cols {
 			s.VersionNodes += c.chain.Nodes()
 			if ix := c.idx.Load(); ix != nil {

@@ -31,24 +31,50 @@ type Txn struct {
 	// (their birth timestamps are still NeverTS, so they were never
 	// visible to anyone).
 	reserved []reservedRow
+
+	// epochs records each staged-against table's DDL epoch at first
+	// touch; the commit path aborts the transaction if any moved
+	// (ddl.go). A transaction touches few tables, so a slice with
+	// linear search beats a map.
+	epochs []tableEpoch
 }
 
 type reservedRow struct {
-	tab *table
-	row int
+	tab   *table
+	row   int
+	epoch uint64 // the table's DDL epoch when the slot was reserved
 }
 
 // releaseReserved returns every reserved slot after an abort or a
-// failed commit.
+// failed commit. Slots of a table dropped or truncated meanwhile are
+// NOT returned: the DDL reset that table's allocator, and releasing a
+// pre-DDL slot into the fresh free list would hand it out twice.
 func (t *Txn) releaseReserved() {
 	byTab := map[*table][]int{}
 	for _, r := range t.reserved {
+		if r.tab.ddlEpoch.Load() != r.epoch {
+			continue
+		}
 		byTab[r.tab] = append(byTab[r.tab], r.row)
 	}
 	for tab, rows := range byTab {
 		tab.release(rows)
 	}
 	t.reserved = nil
+}
+
+// noteEpoch records tab's DDL epoch the first time the transaction
+// stages against it. It must run BEFORE the visibility check of the
+// staging operation: a drop or truncate between the two is then caught
+// either by the check (it sees post-DDL state) or by the commit-path
+// epoch guard (the recorded epoch is stale).
+func (t *Txn) noteEpoch(tab *table) {
+	for _, e := range t.epochs {
+		if e.tab == tab {
+			return
+		}
+	}
+	t.epochs = append(t.epochs, tableEpoch{tab: tab, epoch: tab.ddlEpoch.Load()})
 }
 
 // Class returns the transaction's class.
@@ -219,6 +245,7 @@ func (t *Txn) Insert(tab string, vals map[string]any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	t.noteEpoch(tb)
 	schema := tb.st.Schema()
 	staged := make([]int64, len(tb.cols))
 	set := make([]bool, len(tb.cols))
@@ -258,7 +285,7 @@ func (t *Txn) Insert(tab string, vals map[string]any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	t.reserved = append(t.reserved, reservedRow{tab: tb, row: row})
+	t.reserved = append(t.reserved, reservedRow{tab: tb, row: row, epoch: tb.ddlEpoch.Load()})
 	for i, c := range tb.cols {
 		t.state.StageWrite(c.id, row, staged[i])
 	}
@@ -286,6 +313,7 @@ func (t *Txn) Delete(tab string, row int) error {
 	if err != nil {
 		return err
 	}
+	t.noteEpoch(tb)
 	if row < 0 || row >= tb.st.Capacity() {
 		if row >= 0 {
 			t.noteAbsence(tb, row) // see readable: above-capacity is an absence read
@@ -579,8 +607,8 @@ func (t *Txn) Commit() error {
 	// The commit path itself records the flight-recorder commit/abort
 	// event (RecordAt, reusing its phase clock marks), so no event is
 	// emitted here.
-	if err := t.db.commit(t.state); err != nil {
-		if errors.Is(err, ErrConflict) {
+	if err := t.db.commit(t.state, t.epochs); err != nil {
+		if errors.Is(err, ErrConflict) || errors.Is(err, ErrNoSuchTable) {
 			// Failed validation: install never ran, so reserved insert
 			// slots were never born and return to the free list. (A WAL
 			// failure, by contrast, reports an error with the writes
@@ -643,6 +671,7 @@ func (t *Txn) writable(tab, col string, row int) (*column, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.noteEpoch(c.tab)
 	if !t.oltpRowVisible(c.tab, row) {
 		t.noteAbsence(c.tab, row)
 		return nil, &notVisibleError{tab: tab, col: col, row: row, ts: t.state.Begin}
