@@ -10,7 +10,7 @@ GO ?= go
 # throughput as commits_per_sec, so one gate metric covers every bench.
 BENCH_GATE_ARGS := -quick -bench commit,grow,query,index -format json
 
-.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline metrics-smoke fault-sweep
+.PHONY: build test test-race bench bench-baseline bench-gate cover cover-baseline metrics-smoke fault-sweep repl-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ fault-sweep:
 	FAULT_SWEEP_SEEDS=$(FAULT_SWEEP_SEEDS) $(GO) test -run \
 	  'TestCrashRecoveryMatrix|TestFsyncLieRecoveryMatrix|TestSeededScheduleReproducible|TestCrashMid' \
 	  -v -timeout 30m .
+
+# repl-smoke runs the replication end-to-end smoke: a durable serving
+# primary plus two WAL-streaming read replicas on loopback ports, a
+# seeded write workload with a mid-run index build, then asserts
+# bounded replica lag, read equivalence (embedded scans and a remote
+# session through a replica), and a clean hang-free shutdown.
+repl-smoke:
+	$(GO) run ./cmd/replsmoke
 
 # metrics-smoke starts the observability endpoint under a mixed
 # workload, scrapes /metrics over HTTP mid-stress and at quiescence,

@@ -28,6 +28,11 @@
 //     enabled, swept across sync policies (none, groupOnly, always)
 //     and commit shard counts, plus crash-recovery replay time and
 //     snapshot-driven checkpoint latency per configuration.
+//   - "replication": a WAL-streaming read replica attached to a
+//     durable serving primary: replica lag (in commits) versus write
+//     rate (writer count) across commit shard counts, replica-side
+//     OLAP read throughput while the stream is live, and the
+//     catch-up time from the last primary commit to full convergence.
 //
 // All benchmarks go exclusively through the public API, so the numbers
 // include the full commit pipeline and snapshot lifecycle.
@@ -61,7 +66,7 @@ import (
 )
 
 var (
-	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery,query,index", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery, query, index")
+	flagBench      = flag.String("bench", "create,write,mixed,commit,grow,durability,recovery,query,index,replication", "comma-separated benchmarks to run: create, write, mixed, commit, grow, durability, recovery, query, index, replication")
 	flagStrategies = flag.String("strategies", "physical,fork,rewired,vmsnap", "comma-separated snapshot strategies")
 	flagRows       = flag.Int("rows", 1<<16, "rows per column")
 	flagCols       = flag.Int("cols", 8, "columns per table")
@@ -242,6 +247,9 @@ func main() {
 	}
 	if benches["index"] {
 		benchIndex(strats)
+	}
+	if benches["replication"] {
+		benchReplication()
 	}
 	if *flagStats != "" {
 		writeStatsDump(*flagStats)
@@ -1263,6 +1271,139 @@ func openIndexTable(strat ankerdb.SnapshotStrategy, rows, vals int) *ankerdb.DB 
 		}
 	}
 	return db
+}
+
+// benchReplication attaches a WAL-streaming read replica to a durable
+// serving primary and sweeps write rate (writer count) across commit
+// shard counts. While the committers run, the primary's reported
+// replica lag (in commits, from the replica's acks) is sampled and the
+// replica serves OLAP aggregates, measuring the staleness/throughput
+// trade the serving tier actually delivers. After the writers stop,
+// the catch-up time to full convergence is timed. Write throughput is
+// also emitted as commits_per_sec so the CI bench-regression gate
+// covers the streaming path with its default metric.
+func benchReplication() {
+	shardCounts := parseShards()
+	writerCounts := powersOfTwoUpTo(*flagWriters)
+	cols := *flagCols
+	if cols < *flagWriters {
+		cols = *flagWriters
+	}
+	root := *flagDurDir
+	if root == "" {
+		dir, err := os.MkdirTemp("", "ankerbench-replication-")
+		if err != nil {
+			fail("replication temp dir: %v", err)
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		root = dir
+	}
+
+	textf("== replication: replica lag vs write rate × commit shards (%v/point, %d readers on the replica) ==\n",
+		*flagDur, *flagScanners)
+	textf("%-8s  %8s  %10s  %10s  %9s  %9s  %10s  %10s\n",
+		"writers", "shards", "commits/s", "reads/s", "lag mean", "lag max", "catch-up", "frames")
+	for _, shards := range shardCounts {
+		for i, writers := range writerCounts {
+			dir := filepath.Join(root, fmt.Sprintf("repl-%d-%d", shards, i))
+			primary := openLoaded(ankerdb.VMSnap, cols,
+				ankerdb.WithCommitShards(shards),
+				ankerdb.WithDurability(dir),
+				ankerdb.WithSyncPolicy(ankerdb.SyncNone),
+				ankerdb.WithServeAddr("127.0.0.1:0"))
+			replica, err := ankerdb.Open(
+				ankerdb.WithSnapshotStrategy(ankerdb.VMSnap),
+				ankerdb.WithCostModel(costModel()),
+				ankerdb.WithReplicaOf(primary.ServeAddr()))
+			if err != nil {
+				fail("open replica: %v", err)
+			}
+
+			// Replica readers and a lag sampler run for the duration of
+			// the committer workload.
+			var stop atomic.Bool
+			var reads, lagSum, lagSamples, lagMax atomic.Uint64
+			var wg sync.WaitGroup
+			for r := 0; r < *flagScanners; r++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rnd := rand.New(rand.NewSource(seed))
+					for !stop.Load() {
+						t, err := replica.Begin(ankerdb.OLAP)
+						if err != nil {
+							return
+						}
+						if _, err := t.Aggregate("bench", colName(rnd.Intn(cols)), ankerdb.Sum); err != nil {
+							_ = t.Abort()
+							return
+						}
+						if err := t.Commit(); err != nil {
+							return
+						}
+						reads.Add(1)
+					}
+				}(int64(r) + 1)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					lag := primary.Stats().MaxReplicaLag
+					lagSum.Add(lag)
+					lagSamples.Add(1)
+					if lag > lagMax.Load() {
+						lagMax.Store(lag)
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}()
+
+			commits, _ := runCommitters(primary, writers, *flagDur)
+			target := primary.Stats().CompletedCommitTS
+			stop.Store(true)
+			wg.Wait()
+
+			// Catch-up: the stream drains to the primary's final watermark.
+			cuStart := time.Now()
+			for replica.Stats().CompletedCommitTS < target {
+				if time.Since(cuStart) > 30*time.Second {
+					fail("replica never converged: %d < %d", replica.Stats().CompletedCommitTS, target)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			catchup := time.Since(cuStart)
+			pst := primary.Stats()
+			captureStats("replication", pst)
+			if err := replica.Close(); err != nil {
+				fail("close replica: %v", err)
+			}
+			if err := primary.Close(); err != nil {
+				fail("close primary: %v", err)
+			}
+
+			secs := flagDur.Seconds()
+			meanLag := 0.0
+			if n := lagSamples.Load(); n > 0 {
+				meanLag = float64(lagSum.Load()) / float64(n)
+			}
+			textf("%-8d  %8d  %10.0f  %10.0f  %9.1f  %9d  %10v  %10d\n",
+				writers, pst.CommitShards, float64(commits)/secs, float64(reads.Load())/secs,
+				meanLag, lagMax.Load(), catchup, pst.ReplFramesStreamed)
+			base := record{Bench: "replication", Strategy: string(ankerdb.VMSnap),
+				Shards: pst.CommitShards, Writers: writers, Scanners: *flagScanners, Touch: -1}
+			emitAll(base, []metric{
+				{"commits_per_sec", float64(commits) / secs},
+				{"replica_reads_per_sec", float64(reads.Load()) / secs},
+				{"lag_mean_commits", meanLag},
+				{"lag_max_commits", float64(lagMax.Load())},
+				{"catchup_ns", float64(catchup.Nanoseconds())},
+				{"frames_streamed", float64(pst.ReplFramesStreamed)},
+				{"subscriber_drops", float64(pst.ReplSubscriberDrop)},
+			})
+		}
+	}
+	textf("\n")
 }
 
 // globBytes sums the sizes of files matching pattern.

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the replication smoke at a reduced scale. A failed
+// assertion exits the test binary via fail, which the test framework
+// reports as a failure; reaching the end means every assertion held.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication smoke needs real loopback streaming")
+	}
+	*flagRows = 256
+	*flagTxns = 500
+	*flagDir = t.TempDir()
+	smoke()
+}

@@ -10,6 +10,7 @@ import (
 
 	"ankerdb/internal/index"
 	"ankerdb/internal/mvcc"
+	"ankerdb/internal/repl"
 	"ankerdb/internal/snapshot"
 	"ankerdb/internal/storage"
 	"ankerdb/internal/telemetry"
@@ -96,6 +97,16 @@ type DB struct {
 	tel        dbTelemetry
 	metricsLn  net.Listener
 	metricsSrv *http.Server
+
+	// Replication & serving tier (replication.go / serve.go). All nil /
+	// zero without WithServeAddr / WithReplicaOf. promoted flips once on
+	// Promote and releases the replica write guard.
+	pub      *repl.Publisher
+	srv      *Server
+	rep      *replicaState
+	promoted atomic.Bool
+	peerMu   sync.Mutex
+	peers    map[*replPeer]struct{}
 }
 
 type dbCounters struct {
@@ -488,6 +499,12 @@ func Open(opts ...Option) (*DB, error) {
 		// to the interval timer.
 		db.kickAutoCkpt()
 	}
+	if cfg.serveAddr != "" || cfg.replicaOf != "" {
+		if err := db.initReplication(&cfg); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+	}
 	if cfg.metricsAddr != "" {
 		if err := db.startMetricsServer(cfg.metricsAddr); err != nil {
 			_ = db.Close()
@@ -512,6 +529,9 @@ func (db *DB) hasTable(name string) bool {
 // committing release validation records as the watermark advances.
 func (db *DB) onComplete(ts uint64) {
 	db.snaps.noteCommit(ts)
+	if p := db.pub; p != nil {
+		p.Advance(ts)
+	}
 	if db.st.completions.Add(1)%recentPruneEvery == 0 {
 		select {
 		case db.gcKick <- struct{}{}:
@@ -565,6 +585,17 @@ func columnAlloc(proc *vmem.Process, strat snapshot.Strategy) storage.ColumnAllo
 // visible row count. All pages are mapped and pre-faulted immediately;
 // the table grows chunk-wise as Insert passes its capacity.
 func (db *DB) CreateTable(schema Schema, rows int) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
+	return db.createTable(schema, rows, true)
+}
+
+// createTable is CreateTable without the replica write guard: the
+// stream applier creates tables the primary's schema records describe
+// (logDDL false — the raw record was already appended by applySchema,
+// byte-identical to the primary's).
+func (db *DB) createTable(schema Schema, rows int, logDDL bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -609,7 +640,7 @@ func (db *DB) CreateTable(schema Schema, rows int) error {
 	}
 	db.tables[schema.Table] = t
 	db.tabList = append(db.tabList, t)
-	if db.wal != nil && !db.recovering {
+	if db.wal != nil && !db.recovering && logDDL {
 		// Logged under db.mu so schema-log order always matches table
 		// index order, which recovery relies on to rebuild ColumnIDs.
 		if err := db.wal.AppendTable(tableRecord(schema, rows)); err != nil {
@@ -637,6 +668,9 @@ func (db *DB) Begin(class TxnClass) (*Txn, error) {
 		db.tel.rec.Record(telemetry.EvTxnBegin, int64(id), 1, int64(gen.ts))
 		return &Txn{db: db, id: id, class: OLAP, gen: gen}, nil
 	default:
+		if err := db.replicaWriteGuard(); err != nil {
+			return nil, err
+		}
 		db.st.oltpBegun.Add(1)
 		// Sample-register-verify: GC computes its floor from the active
 		// set, so the begin timestamp must be registered before any
@@ -711,6 +745,9 @@ func (db *DB) columnByID(id mvcc.ColumnID) *column {
 // because loads are time-zero state, any committed write to the same
 // row wins over the load at recovery.
 func (db *DB) Load(tab, col string, vals []int64) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	c, err := db.lookup(tab, col)
 	if err != nil {
 		return err
@@ -729,6 +766,9 @@ func (db *DB) Load(tab, col string, vals []int64) error {
 // records carry the decoded strings, re-encoded through the recovered
 // dictionary at replay exactly like VARCHAR commit records.
 func (db *DB) LoadStrings(tab, col string, vals []string) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	c, err := db.lookup(tab, col)
 	if err != nil {
 		return err
@@ -893,6 +933,18 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.mu.Unlock()
 	db.stopMetricsServer()
+	// Serving tier first: no new sessions or replica feeds, then stop
+	// the replica connector (waits out its goroutine), then release any
+	// blocked publisher subscribers.
+	if db.srv != nil {
+		_ = db.srv.Close()
+	}
+	if db.rep != nil {
+		db.rep.stop()
+	}
+	if db.pub != nil {
+		db.pub.Close()
+	}
 	close(db.gcQuit)
 	if db.ckptQuit != nil {
 		close(db.ckptQuit)

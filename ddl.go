@@ -36,6 +36,9 @@ import (
 // drop appends a schema-log marker record; recovery replays it exactly
 // once, against whichever mix of checkpoint and WAL state survived.
 func (db *DB) DropTable(name string) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	db.mu.RLock()
@@ -89,6 +92,9 @@ func (db *DB) DropTable(name string) error {
 // committed at or below that stamp, so rows inserted after the
 // truncate survive a crash.
 func (db *DB) Truncate(name string) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	db.mu.RLock()

@@ -28,6 +28,12 @@
 //     bulk loads, snapshot-driven checkpoints (manual or scheduled),
 //     and streaming O(chunk)-memory crash recovery (enabled with
 //     WithDurability; the default remains purely in-memory)
+//   - internal/repl: the replication and serving tier — a framed wire
+//     protocol over TCP carrying the primary's WAL record payloads
+//     byte-identically to read replicas, plus a FIFO publisher that
+//     releases records in WAL-append order gated on the commit
+//     completion watermark, so subscribers never observe a torn or
+//     reordered stream
 //   - internal/telemetry: lock-free observability primitives — atomic
 //     log2-bucketed latency histograms on every hot phase and an
 //     always-on flight-recorder ring of structured trace events
@@ -43,7 +49,8 @@
 // WithInitialSchema, WithCommitShards, WithGroupCommitMaxWait,
 // WithDurability, WithSyncPolicy, WithAutoCheckpoint,
 // WithAutoCheckpointInterval, WithSlowQueryThreshold,
-// WithMetricsServer, WithFS (test-only fault injection).
+// WithMetricsServer, WithServeAddr, WithReplicaOf, WithNamespace,
+// WithServeMaxSessions, WithFS (test-only fault injection).
 //
 // Short modifying OLTP transactions stage writes locally, validate
 // against recently committed writers at commit (precision locking, so
@@ -142,6 +149,34 @@
 // Prometheus text under stable ankerdb_* names. WithMetricsServer
 // serves /metrics, /debug/vars (expvar), /debug/pprof and
 // /debug/trace over HTTP on a dedicated mux.
+//
+// A durable database becomes a networked serving primary with
+// WithServeAddr(addr): remote clients Dial(addr, namespace) a Session
+// — the interface (BeginTxn, Stats, Close) the embedded *DB also
+// satisfies, so code written against Session runs unchanged
+// in-process or over the wire, and sentinel errors (ErrConflict,
+// ErrNoSuchTable, ErrRowNotVisible, ...) match under errors.Is on
+// both sides. WithServeMaxSessions caps concurrent remote sessions
+// (the excess dial fails with ErrTooManySessions); WithNamespace
+// names the served database, and NewServer + Server.Register front
+// several databases behind one port.
+//
+// WithReplicaOf(addr) opens the database as a read replica of a
+// serving primary: it bootstraps a checkpoint-style snapshot, then
+// continuously replays the primary's commit, load and schema records
+// through the same idempotent-by-commitTS rules crash recovery uses —
+// replication is recovery over the wire. The replica is a live
+// database serving OLAP snapshot reads at bounded, reported staleness
+// (Stats.ReplicaAppliedTS against Stats.ReplicaSourceTS; the primary
+// reports per-replica lag in commits via Stats.MaxReplicaLag and the
+// ReplicaLagHist histogram). Local mutations fail with ErrReplicaRead
+// until DB.Promote(requireTS) turns the replica into a primary —
+// refusing with ErrStalePromotion when its applied watermark has not
+// reached requireTS, so electing the most-caught-up replica after a
+// primary failure loses no committed transaction. A durable replica
+// re-appends every applied record to its own WAL and restarts
+// standalone; a serving replica (WithServeAddr alongside WithReplicaOf)
+// answers remote read sessions and can feed second-tier replicas.
 //
 // Note on Filter: its positional (lo, hi) range form predates the
 // predicate tree and is retained for compatibility; for equality

@@ -70,6 +70,26 @@ var (
 	// ErrIndexKind is returned by CreateIndex for an index kind that is
 	// neither Hash nor Ordered.
 	ErrIndexKind = errors.New("ankerdb: invalid index kind")
+
+	// ErrReplicaRead is returned by every local mutation (OLTP Begin,
+	// DDL, bulk loads) on a database opened WithReplicaOf: a replica's
+	// state is owned by the primary's record stream until Promote.
+	ErrReplicaRead = errors.New("ankerdb: replica is read-only")
+
+	// ErrNotReplica is returned by Promote on a database that was not
+	// opened WithReplicaOf (or was already promoted).
+	ErrNotReplica = errors.New("ankerdb: not a replica")
+
+	// ErrStalePromotion is returned by Promote when the replica's
+	// applied watermark is below the caller's required timestamp:
+	// promoting it would lose commits some other replica (or the failed
+	// primary) had acknowledged. Replication keeps running; retry after
+	// the replica catches up, or promote the replica that is ahead.
+	ErrStalePromotion = errors.New("ankerdb: replica too stale to promote")
+
+	// ErrTooManySessions is returned to a dialing client when the
+	// serving endpoint is at its WithServeMaxSessions admission cap.
+	ErrTooManySessions = errors.New("ankerdb: session limit reached")
 )
 
 // Recovery corruption sentinels, re-exported from internal/wal so

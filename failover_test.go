@@ -1,0 +1,179 @@
+package ankerdb
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFailoverPromoteZeroLoss is the acceptance scenario: a primary
+// streaming to two replicas is killed mid-stream; the replica with the
+// highest durable commitTS is promoted and serves every transaction
+// the primary acknowledged as committed — zero loss — then accepts
+// writes of its own.
+func TestFailoverPromoteZeroLoss(t *testing.T) {
+	p := openPrimary(t, WithInitialSchema(NewSchema("kv").Int64("v").Build(), 64))
+
+	r1 := openReplicaOf(t, p.ServeAddr(), WithDurability(t.TempDir()), WithSyncPolicy(SyncNone))
+	r2 := openReplicaOf(t, p.ServeAddr(), WithDurability(t.TempDir()), WithSyncPolicy(SyncNone))
+
+	var last uint64
+	for i := 0; i < 200; i++ {
+		last = commitWrite(t, p, "kv", "v", i%64, int64(i))
+	}
+	// Let both replicas converge before the kill so "max durable
+	// commitTS" is deterministic; the zero-loss check below is against
+	// acknowledged commits, which is exactly `last`.
+	waitReplicaTS(t, r1, last)
+	waitReplicaTS(t, r2, last)
+
+	// Kill the primary mid-stream (replicas still connected).
+	if err := p.Close(); err != nil {
+		t.Fatalf("kill primary: %v", err)
+	}
+
+	// Elect the replica with the highest durable commitTS.
+	winner, loser := r1, r2
+	if r2.Stats().ReplicaAppliedTS > r1.Stats().ReplicaAppliedTS {
+		winner, loser = r2, r1
+	}
+	if err := winner.Promote(last); err != nil {
+		t.Fatalf("promote at %d: %v", last, err)
+	}
+
+	st := winner.Stats()
+	if !st.Promoted || st.Replica {
+		t.Errorf("post-promote stats: promoted=%v replica=%v", st.Promoted, st.Replica)
+	}
+
+	// Zero committed loss: every acknowledged write is readable.
+	tx, err := winner.Begin(OLAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.SnapshotTS() < last {
+		t.Fatalf("promoted snapshot %d below last acknowledged commit %d", tx.SnapshotTS(), last)
+	}
+	for i := 136; i < 200; i++ { // final write to each of the 64 rows
+		v, err := tx.Get("kv", "v", i%64)
+		if err != nil {
+			t.Fatalf("row %d lost after failover: %v", i%64, err)
+		}
+		if v != int64(i) {
+			t.Fatalf("row %d = %d after failover, want %d", i%64, v, i)
+		}
+	}
+	tx.Abort()
+
+	// The promoted node is writable again.
+	commitWrite(t, winner, "kv", "v", 0, 9999)
+	if got := olapGet(t, winner, "kv", "v", 0); got != 9999 {
+		t.Errorf("post-failover write read back %d, want 9999", got)
+	}
+
+	// The losing replica stays a read-only replica.
+	if _, err := loser.Begin(OLTP); !errors.Is(err, ErrReplicaRead) {
+		t.Errorf("loser accepted a write: %v", err)
+	}
+}
+
+// TestFailoverStaleRefusal: a replica whose applied watermark is
+// behind the required commitTS refuses promotion with
+// ErrStalePromotion and keeps replicating afterwards.
+func TestFailoverStaleRefusal(t *testing.T) {
+	p := openPrimary(t, WithInitialSchema(NewSchema("kv").Int64("v").Build(), 8))
+	r := openReplicaOf(t, p.ServeAddr())
+
+	ts := commitWrite(t, p, "kv", "v", 0, 1)
+	waitReplicaTS(t, r, ts)
+
+	// Demand a future commitTS the replica cannot have applied.
+	if err := r.Promote(ts + 1000); !errors.Is(err, ErrStalePromotion) {
+		t.Fatalf("stale promote = %v, want ErrStalePromotion", err)
+	}
+
+	// Refusal must not disturb replication: new primary writes still land.
+	st := r.Stats()
+	if !st.Replica || st.Promoted {
+		t.Fatalf("refused replica changed role: replica=%v promoted=%v", st.Replica, st.Promoted)
+	}
+	ts = commitWrite(t, p, "kv", "v", 1, 2)
+	waitReplicaTS(t, r, ts)
+	if got := olapGet(t, r, "kv", "v", 1); got != 2 {
+		t.Errorf("post-refusal stream broken: v[1] = %d, want 2", got)
+	}
+
+	// With the watermark actually reached, the same promotion succeeds.
+	if err := r.Promote(ts); err != nil {
+		t.Fatalf("promote at reached watermark: %v", err)
+	}
+	if _, err := r.Begin(OLTP); err != nil {
+		t.Errorf("promoted replica refuses writes: %v", err)
+	}
+}
+
+// TestFailoverPromotedSurvivesRestart: a promoted durable replica
+// restarted from its own WAL recovers the full replicated-plus-local
+// history as an ordinary primary.
+func TestFailoverPromotedSurvivesRestart(t *testing.T) {
+	p := openPrimary(t, WithInitialSchema(NewSchema("kv").Int64("v").Build(), 8))
+	dir := t.TempDir()
+	r, err := Open(WithCostModel(ZeroCost), WithDurability(dir), WithSyncPolicy(SyncNone), WithReplicaOf(p.ServeAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := commitWrite(t, p, "kv", "v", 3, 30)
+	waitReplicaTS(t, r, ts)
+	_ = p.Close()
+
+	if err := r.Promote(ts); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	commitWrite(t, r, "kv", "v", 4, 40) // local write after promotion
+	if err := r.Close(); err != nil {
+		t.Fatalf("close promoted: %v", err)
+	}
+
+	// Reopen standalone (no -replica-of): recovery replays the WAL the
+	// replica accumulated while streaming plus its own post-promotion
+	// commits.
+	nr, err := Open(WithCostModel(ZeroCost), WithDurability(dir), WithSyncPolicy(SyncNone))
+	if err != nil {
+		t.Fatalf("reopen promoted: %v", err)
+	}
+	defer nr.Close()
+	if got := olapGet(t, nr, "kv", "v", 3); got != 30 {
+		t.Errorf("replicated write lost across restart: v[3] = %d, want 30", got)
+	}
+	if got := olapGet(t, nr, "kv", "v", 4); got != 40 {
+		t.Errorf("post-promotion write lost across restart: v[4] = %d, want 40", got)
+	}
+	if st := nr.Stats(); st.Replica {
+		t.Errorf("restarted standalone still thinks it is a replica")
+	}
+	commitWrite(t, nr, "kv", "v", 5, 50)
+}
+
+// TestFailoverReplicaOutlivesPrimaryDisconnect: when the primary dies
+// and nobody promotes, the replica keeps serving reads at its applied
+// watermark and reports the disconnect in Stats.
+func TestFailoverReplicaOutlivesPrimaryDisconnect(t *testing.T) {
+	p := openPrimary(t, WithInitialSchema(NewSchema("kv").Int64("v").Build(), 8))
+	r := openReplicaOf(t, p.ServeAddr())
+
+	ts := commitWrite(t, p, "kv", "v", 0, 123)
+	waitReplicaTS(t, r, ts)
+	_ = p.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().ReplicaConnected {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never noticed the dead primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := olapGet(t, r, "kv", "v", 0); got != 123 {
+		t.Errorf("read after disconnect = %d, want 123", got)
+	}
+}

@@ -64,6 +64,8 @@ type faultRun struct {
 	live    []int                   // committed inserted rows, still live
 	deleted map[int]bool            // committed deleted rows
 	history map[workload.Cell]map[int64]bool
+	commits []workload.Op     // committed ops in commit order
+	results []workload.Result // their resolved placements, same order
 
 	maybeOp  *workload.Op     // op whose commit was cut off; nil if none
 	maybeRes *workload.Result // its resolved placements
@@ -127,6 +129,8 @@ func runFaultWorkload(t *testing.T, strat ankerdb.SnapshotStrategy, dir string, 
 
 // fold applies one committed op to the oracle.
 func (fr *faultRun) fold(op workload.Op, res workload.Result) {
+	fr.commits = append(fr.commits, op)
+	fr.results = append(fr.results, res)
 	for _, w := range op.Writes {
 		fr.model[workload.Cell{Col: w.Col, Row: w.Row}] = w.Val
 	}
@@ -317,6 +321,7 @@ func verifyLoose(t *testing.T, strat ankerdb.SnapshotStrategy, dir string, fr fa
 	if len(dump[0]) != len(dump[1]) {
 		t.Fatalf("column row counts diverge: %d vs %d", len(dump[0]), len(dump[1]))
 	}
+	verifyCommitOrder(t, db, fr)
 	if err := db.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
@@ -327,6 +332,103 @@ func verifyLoose(t *testing.T, strat ankerdb.SnapshotStrategy, dir string, fr fa
 	defer db2.Close()
 	if dump2 := stateDump(t, db2); !reflect.DeepEqual(dump, dump2) {
 		t.Fatalf("second recovery diverged:\n%v\nvs\n%v", dump, dump2)
+	}
+}
+
+// verifyCommitOrder checks prefix-consistency of the commit order at
+// record granularity: the recovered state must be explainable as a
+// newer-wins replay of some subsequence of the committed transactions
+// in commit order with NO transaction partially applied — if any of a
+// transaction's writes survived, none of its cells may show an older
+// value. A lying fsync may drop a suffix of each WAL shard, so whole
+// records vanish; a record that half-applies is a recovery bug (torn
+// tails must be cut at record boundaries).
+//
+// The check runs over "stable" cells — initial rows never touched by
+// an insert or delete — where Get is always defined and the recovered
+// value alone identifies the last surviving writer, because the
+// generator's value sequence is globally unique.
+func verifyCommitOrder(t *testing.T, db *ankerdb.DB, fr faultRun) {
+	t.Helper()
+	unstable := map[int]bool{}
+	mark := func(res *workload.Result) {
+		if res == nil {
+			return
+		}
+		for _, r := range res.Inserted {
+			unstable[r] = true
+		}
+		if res.Deleted >= 0 {
+			unstable[res.Deleted] = true
+		}
+	}
+	for i := range fr.results {
+		mark(&fr.results[i])
+	}
+	mark(fr.maybeRes)
+
+	// Commit-order position of each written value's transaction; the
+	// one in flight at the crash orders after everything committed.
+	const inflight = int(^uint(0) >> 1)
+	writer := map[int64]int{}
+	for i, op := range fr.commits {
+		for _, w := range op.Writes {
+			writer[w.Val] = i
+		}
+	}
+	if fr.maybeOp != nil {
+		for _, w := range fr.maybeOp.Writes {
+			writer[w.Val] = inflight
+		}
+	}
+
+	txn, err := db.Begin(ankerdb.OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Abort()
+	// pos resolves a stable cell to its recovered writer's commit-order
+	// position; -1 is the initial zero.
+	pos := func(col string, row int) int {
+		v, err := txn.Get("bench", col, row)
+		if err != nil {
+			t.Fatalf("stable row %d unreadable: %v", row, err)
+		}
+		if v == 0 {
+			return -1
+		}
+		p, ok := writer[v]
+		if !ok {
+			t.Fatalf("recovered %s[%d] = %d was never written", col, row, v)
+		}
+		return p
+	}
+	check := func(i int, op workload.Op) {
+		survived := false
+		for _, w := range op.Writes {
+			if !unstable[w.Row] && pos(w.Col, w.Row) == i {
+				survived = true
+				break
+			}
+		}
+		if !survived {
+			return // the whole record was lost: a legal prefix cut
+		}
+		for _, w := range op.Writes {
+			if unstable[w.Row] {
+				continue
+			}
+			if p := pos(w.Col, w.Row); p < i {
+				t.Fatalf("torn transaction at commit-order %d: %s[%d] shows writer %d while a sibling write survived",
+					i, w.Col, w.Row, p)
+			}
+		}
+	}
+	for i, op := range fr.commits {
+		check(i, op)
+	}
+	if fr.maybeOp != nil {
+		check(inflight, *fr.maybeOp)
 	}
 }
 

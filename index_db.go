@@ -72,6 +72,9 @@ func (db *DB) reindexColumn(c *column) {
 // running during the build are unaffected — readers at timestamps
 // below the build floor simply keep scanning.
 func (db *DB) CreateIndex(tab, col string, kind IndexKind) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	if !kind.Valid() {
 		return fmt.Errorf("%w: %d", ErrIndexKind, kind)
 	}
@@ -104,6 +107,9 @@ func (db *DB) CreateIndex(tab, col string, kind IndexKind) error {
 // holding the old structure finish against it — its entries stay
 // valid — and later lookups fall back to the scan path.
 func (db *DB) DropIndex(tab, col string) error {
+	if err := db.replicaWriteGuard(); err != nil {
+		return err
+	}
 	c, err := db.lookup(tab, col)
 	if err != nil {
 		return err

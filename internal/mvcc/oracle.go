@@ -147,3 +147,34 @@ func (o *Oracle) WaitCompleted(ts uint64) {
 // Completed returns the completion watermark: the newest commit
 // timestamp below which all assigned timestamps have materialized.
 func (o *Oracle) Completed() uint64 { return o.completed.Load() }
+
+// ObserveCommitted advances the oracle to ts, a commit timestamp some
+// *other* oracle (the replication primary's) has already published as
+// contiguously completed. Replicas apply the primary's stream in the
+// primary's commit order, which may contain timestamp gaps where the
+// primary released slots with CompleteNoop — so the watermark jumps
+// straight to ts instead of waiting for holes that will never fill.
+// The complete hook fires once per observation (the replica's snapshot
+// refresh counts applied commits, not slots), readers waiting in
+// WaitCompleted wake, and observations at or below the watermark are
+// no-ops. Must not be mixed with local NextCommitTS allocation: a node
+// is either applying a remote stream or issuing its own timestamps.
+func (o *Oracle) ObserveCommitted(ts uint64) {
+	fn, _ := o.hook.Load().(func(ts uint64))
+	o.mu.Lock()
+	if ts <= o.completed.Load() {
+		o.mu.Unlock()
+		return
+	}
+	if o.next.Load() < ts {
+		o.next.Store(ts)
+	}
+	o.completed.Store(ts)
+	if fn != nil {
+		fn(ts)
+	}
+	if o.cond != nil {
+		o.cond.Broadcast()
+	}
+	o.mu.Unlock()
+}

@@ -1,0 +1,275 @@
+// Package repl is the replication and serving transport of AnKerDB: a
+// minimal length-prefixed framed protocol over which a primary streams
+// durable WAL record payloads (plus a snapshot bootstrap) to read
+// replicas, and clients run remote sessions — and the publisher that
+// feeds every replica stream in commit order.
+//
+// Wire format. Every message is one frame:
+//
+//	[len u32][crc32 u32][type u8][payload]
+//
+// len counts the body (type byte + payload), crc32 (IEEE) covers the
+// body, both little-endian — the same torn-tail-tolerant framing the
+// WAL segments use, so a half-written frame is detected, never
+// misparsed. Payload encoding depends on the type: replication record
+// types (MsgCommit, MsgLoad, MsgSchema) carry WAL record payloads
+// verbatim (internal/wal encoding — the replica replays exactly the
+// bytes the primary made durable), snapshot table bodies carry the raw
+// column-word layout described in the root package, and every control
+// message (hello, heartbeat, session requests, ...) is one gob-encoded
+// struct.
+//
+// The package deliberately knows nothing about the engine: it moves
+// frames and orders records. The root package owns applying them.
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+)
+
+// MsgType tags a frame's body.
+type MsgType uint8
+
+// Frame types.
+const (
+	// MsgHello opens a connection: gob Hello, sent by the client
+	// (session or replica) as its first frame.
+	MsgHello MsgType = 1
+	// MsgWelcome accepts a hello: gob Welcome, the server's first frame.
+	MsgWelcome MsgType = 2
+	// MsgSchema carries one schema-log record payload (table creation,
+	// index DDL or table DDL) in WAL encoding.
+	MsgSchema MsgType = 3
+	// MsgSnapBegin opens a snapshot bootstrap: gob SnapBegin.
+	MsgSnapBegin MsgType = 4
+	// MsgSnapTable carries one table's snapshot body (raw column words;
+	// layout owned by the root package).
+	MsgSnapTable MsgType = 5
+	// MsgSnapEnd closes a snapshot bootstrap: gob SnapEnd.
+	MsgSnapEnd MsgType = 6
+	// MsgCommit carries one commit record payload in WAL encoding.
+	MsgCommit MsgType = 7
+	// MsgLoad carries one bulk-load chunk record payload in WAL encoding.
+	MsgLoad MsgType = 8
+	// MsgHeartbeat carries the primary's completion watermark: gob
+	// Heartbeat. The stream is ordered so that every record with a
+	// commit timestamp at or below the watermark precedes the heartbeat
+	// — a replica that applied everything before it may publish the
+	// watermark to its readers.
+	MsgHeartbeat MsgType = 9
+	// MsgAck reports a replica's applied watermark upstream: gob Ack.
+	MsgAck MsgType = 10
+	// MsgRequest/MsgResponse carry one session operation and its result
+	// (gob; request/response structs owned by the root package).
+	MsgRequest  MsgType = 11
+	MsgResponse MsgType = 12
+	// MsgErr carries a fatal connection error: gob WireErr, after which
+	// the sender closes.
+	MsgErr MsgType = 13
+)
+
+// Hello opens a connection.
+type Hello struct {
+	Role      string // RoleSession or RoleReplica
+	Namespace string // tenant the connection addresses
+	AfterTS   uint64 // replica resume point: newest applied commit TS (0 = fresh)
+}
+
+// Connection roles.
+const (
+	RoleSession = "session"
+	RoleReplica = "replica"
+)
+
+// Welcome accepts a Hello.
+type Welcome struct {
+	// Snapshot reports whether a snapshot bootstrap (schema frames,
+	// SnapBegin ... SnapEnd) precedes the live stream. False when the
+	// primary can resume the replica from its retained record history.
+	Snapshot bool
+	// TS is the primary's completion watermark at accept time.
+	TS uint64
+}
+
+// SnapBegin opens a snapshot bootstrap.
+type SnapBegin struct {
+	TS     uint64 // snapshot timestamp: the state of every table at TS
+	Tables int    // number of MsgSnapTable frames that follow
+}
+
+// SnapEnd closes a snapshot bootstrap; the live stream follows.
+type SnapEnd struct {
+	TS uint64 // equals the SnapBegin TS
+}
+
+// Heartbeat publishes the primary's completion watermark.
+type Heartbeat struct {
+	Watermark uint64
+}
+
+// Ack reports the replica's applied watermark.
+type Ack struct {
+	AppliedTS uint64
+}
+
+// WireErr is a fatal error shipped before close. Code optionally names
+// a well-known engine sentinel (table owned by the root package, 0 =
+// none) so remote clients can rebuild errors.Is-able errors.
+type WireErr struct {
+	Msg  string
+	Code uint8
+}
+
+func (e WireErr) Error() string { return e.Msg }
+
+// maxFrameLen bounds a frame body; larger lengths mark a corrupt or
+// hostile stream (matches the WAL's frame bound).
+const maxFrameLen = 1 << 30
+
+// Conn frames messages over a byte stream. Writes are buffered —
+// callers batch records and Flush at stream quiescence points; the
+// read side never needs flushing. A Conn serialises writers and
+// readers independently, so one sender goroutine and one receiver
+// goroutine can share it without locks of their own.
+type Conn struct {
+	c net.Conn
+
+	rmu  sync.Mutex
+	br   *bufio.Reader
+	rbuf []byte
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// NewConn wraps c for framed messaging.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Close closes the underlying connection (buffered writes are not
+// flushed — call Flush first for a graceful close).
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// WriteMsg appends one frame to the write buffer.
+func (c *Conn) WriteMsg(t MsgType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeMsgLocked(t, payload)
+}
+
+func (c *Conn) writeMsgLocked(t MsgType, payload []byte) error {
+	if len(payload)+1 > maxFrameLen {
+		return fmt.Errorf("repl: frame body %d bytes exceeds limit", len(payload)+1)
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)+1))
+	crc := crc32.NewIEEE()
+	hdr[8] = byte(t)
+	_, _ = crc.Write(hdr[8:9])
+	_, _ = crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc.Sum32())
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.bw.Write(payload)
+	return err
+}
+
+// Flush pushes buffered frames to the wire.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bw.Flush()
+}
+
+// Send writes one frame and flushes — the request/response pattern.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeMsgLocked(t, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadMsg reads the next frame. The returned payload is only valid
+// until the next ReadMsg call. A bad length or checksum returns an
+// error — the stream cannot be trusted past it.
+func (c *Conn) ReadMsg() (MsgType, []byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [8]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > maxFrameLen {
+		return 0, nil, fmt.Errorf("repl: frame body length %d out of range", n)
+	}
+	if uint64(n) > uint64(cap(c.rbuf)) {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, nil, fmt.Errorf("repl: frame checksum mismatch")
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// EncodeGob serialises v for a gob-payload frame.
+func EncodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGob deserialises a gob-payload frame body into v.
+func DecodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// SendGob gob-encodes v into one frame and flushes.
+func (c *Conn) SendGob(t MsgType, v any) error {
+	p, err := EncodeGob(v)
+	if err != nil {
+		return err
+	}
+	return c.Send(t, p)
+}
+
+// WriteGob gob-encodes v into one buffered frame (no flush).
+func (c *Conn) WriteGob(t MsgType, v any) error {
+	p, err := EncodeGob(v)
+	if err != nil {
+		return err
+	}
+	return c.WriteMsg(t, p)
+}
+
+// SendErr ships a WireErr frame (best-effort) so the peer sees why the
+// connection is about to close.
+func (c *Conn) SendErr(msg string) {
+	_ = c.SendGob(MsgErr, WireErr{Msg: msg})
+}

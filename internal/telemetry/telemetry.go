@@ -204,21 +204,24 @@ type EventKind uint32
 // Event kinds. A/B/C are kind-specific payload words (ids, counts,
 // nanoseconds); see the String method for their rendering.
 const (
-	EvNone        EventKind = iota
-	EvTxnBegin              // A=txn id, B=0 OLTP / 1 OLAP, C=read timestamp (emitted for OLAP snapshot pins; OLTP begins ride on the commit/abort event's C)
-	EvTxnCommit             // A=txn id, B=1 if empty (read-only) commit, C=begin/read timestamp
-	EvTxnAbort              // A=txn id, B=abort reason (AbortExplicit...), C=begin/read timestamp
-	EvSnapCreate            // A=table, B=col (-1 visibility), C=creation nanos
-	EvSnapRelease           // A=column snapshots released
-	EvCheckpoint            // A=checkpoint timestamp, C=duration nanos
-	EvWALSeal               // A=shard, B=records sealed, C=newest commit TS
-	EvIndexDDL              // A=1 create / 0 drop, Note="table.col kind"
-	EvQueryStart            // A=query id
-	EvQueryFinish           // A=query id, B=rows emitted, C=duration nanos
-	EvSlowQuery             // A=query id, C=duration nanos, Note=table
-	EvVacuum                // A=version nodes removed, C=duration nanos
-	EvRecovery              // A=txns replayed, B=loads replayed, C=nanos
-	EvTableDDL              // A=1 drop / 2 truncate, C=DDL timestamp, Note=table
+	EvNone           EventKind = iota
+	EvTxnBegin                 // A=txn id, B=0 OLTP / 1 OLAP, C=read timestamp (emitted for OLAP snapshot pins; OLTP begins ride on the commit/abort event's C)
+	EvTxnCommit                // A=txn id, B=1 if empty (read-only) commit, C=begin/read timestamp
+	EvTxnAbort                 // A=txn id, B=abort reason (AbortExplicit...), C=begin/read timestamp
+	EvSnapCreate               // A=table, B=col (-1 visibility), C=creation nanos
+	EvSnapRelease              // A=column snapshots released
+	EvCheckpoint               // A=checkpoint timestamp, C=duration nanos
+	EvWALSeal                  // A=shard, B=records sealed, C=newest commit TS
+	EvIndexDDL                 // A=1 create / 0 drop, Note="table.col kind"
+	EvQueryStart               // A=query id
+	EvQueryFinish              // A=query id, B=rows emitted, C=duration nanos
+	EvSlowQuery                // A=query id, C=duration nanos, Note=table
+	EvVacuum                   // A=version nodes removed, C=duration nanos
+	EvRecovery                 // A=txns replayed, B=loads replayed, C=nanos
+	EvTableDDL                 // A=1 drop / 2 truncate, C=DDL timestamp, Note=table
+	EvReplBootstrap            // A=snapshot TS, B=oracle seed (replica side)
+	EvReplDisconnect           // C=applied watermark at disconnect, Note=error
+	EvReplPromote              // A=oracle seed, B=required TS
 )
 
 // Abort reasons carried in EvTxnAbort's B payload.
@@ -258,6 +261,12 @@ func (k EventKind) String() string {
 		return "recovery"
 	case EvTableDDL:
 		return "table.ddl"
+	case EvReplBootstrap:
+		return "repl.bootstrap"
+	case EvReplDisconnect:
+		return "repl.disconnect"
+	case EvReplPromote:
+		return "repl.promote"
 	}
 	return "none"
 }

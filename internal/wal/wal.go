@@ -174,8 +174,35 @@ type Log struct {
 	// cheap and must not call back into the log.
 	OnSeal func(shard, records int, lastTS uint64)
 
+	// OnAppend, when set (before the log is shared), is called by
+	// AppendCommits after a batch is as durable as the policy promises,
+	// with the shard id and the batch's records, still under the shard's
+	// append lock and before the commit pipeline publishes the batch's
+	// timestamps. The replication publisher uses it to capture every
+	// durable record ahead of the completion watermark; like OnSeal it
+	// must be cheap and must not call back into the log.
+	OnAppend func(shard int, recs []CommitRecord)
+
+	// OnLoad is OnAppend for bulk-load chunk records: called by
+	// AppendLoads once the whole load chunk batch is durable, under the
+	// shard's append lock.
+	OnLoad func(shard int, recs []LoadRecord)
+
+	// OnSchema is called by the schema-log appends (AppendTable,
+	// AppendIndexDDL, AppendTableDDL) with each record's encoded payload
+	// once it is durable, under the schema lock. Payload ownership
+	// passes to the hook; decode with DecodeSchemaPayload. seq is the
+	// record's position in the schema log (records appended before it),
+	// the key replicas use to apply each schema record exactly once when
+	// a bootstrap's file replay overlaps the live stream.
+	OnSchema func(seq uint64, payload []byte)
+
 	schemaMu sync.Mutex
 	schema   fault.File
+	// schemaSeq counts schema-log records: records already in the file
+	// at open (set by the ReplaySchema* full passes) plus records
+	// appended since. Guarded by schemaMu.
+	schemaSeq uint64
 
 	// sealedMax maps closed segment paths to the newest commit
 	// timestamp they contain, the input to checkpoint truncation. It is
@@ -388,6 +415,9 @@ func (l *Log) AppendCommits(shard int, recs []CommitRecord) error {
 			s.lastTS, s.records = r.TS, s.records+1
 			l.records.Add(1)
 		}
+		if l.OnAppend != nil {
+			l.OnAppend(shard, recs)
+		}
 		return nil
 	}
 	var buf []byte
@@ -404,6 +434,9 @@ func (l *Log) AppendCommits(shard int, recs []CommitRecord) error {
 	}
 	s.lastTS, s.records = recs[len(recs)-1].TS, s.records+len(recs)
 	l.records.Add(uint64(len(recs)))
+	if l.OnAppend != nil {
+		l.OnAppend(shard, recs)
+	}
 	return nil
 }
 
@@ -443,6 +476,9 @@ func (l *Log) AppendLoads(shard int, recs []LoadRecord) error {
 		}
 	}
 	l.records.Add(uint64(len(recs)))
+	if l.OnLoad != nil {
+		l.OnLoad(shard, recs)
+	}
 	return nil
 }
 
@@ -467,49 +503,44 @@ func (l *Log) usable() error {
 // Failed reports whether the log has been poisoned by an append error.
 func (l *Log) Failed() bool { return l.failed.Load() }
 
-// AppendTable appends a table-creation record to the schema log. DDL
-// is rare, so it is fsynced regardless of policy (except SyncNone).
-func (l *Log) AppendTable(rec TableRecord) error {
+// appendSchema frames payload into the schema log, fsyncs it under any
+// policy but SyncNone (DDL is rare, so it always gets its own
+// durability point), and hands the payload to OnSchema once durable.
+func (l *Log) appendSchema(payload []byte) error {
 	if err := l.usable(); err != nil {
 		return err
 	}
 	l.schemaMu.Lock()
 	defer l.schemaMu.Unlock()
-	buf := appendFrame(nil, rec.encode(nil))
+	buf := appendFrame(nil, payload)
 	if _, err := l.schema.Write(buf); err != nil {
 		return l.poison(err)
 	}
 	l.bytes.Add(uint64(len(buf)))
-	if l.policy == SyncNone {
-		return nil
+	if l.policy != SyncNone {
+		if err := l.sync(l.schema); err != nil {
+			return l.poison(err)
+		}
 	}
-	if err := l.sync(l.schema); err != nil {
-		return l.poison(err)
+	seq := l.schemaSeq
+	l.schemaSeq++
+	if l.OnSchema != nil {
+		l.OnSchema(seq, payload)
 	}
 	return nil
+}
+
+// AppendTable appends a table-creation record to the schema log. DDL
+// is rare, so it is fsynced regardless of policy (except SyncNone).
+func (l *Log) AppendTable(rec TableRecord) error {
+	return l.appendSchema(rec.encode(nil))
 }
 
 // AppendIndexDDL appends an online CreateIndex/DropIndex record to the
 // schema log, fsynced like table records (DDL is rare). The schema log
 // is never truncated, so index existence survives every checkpoint.
 func (l *Log) AppendIndexDDL(rec IndexDDLRecord) error {
-	if err := l.usable(); err != nil {
-		return err
-	}
-	l.schemaMu.Lock()
-	defer l.schemaMu.Unlock()
-	buf := appendFrame(nil, rec.encode(nil))
-	if _, err := l.schema.Write(buf); err != nil {
-		return l.poison(err)
-	}
-	l.bytes.Add(uint64(len(buf)))
-	if l.policy == SyncNone {
-		return nil
-	}
-	if err := l.sync(l.schema); err != nil {
-		return l.poison(err)
-	}
-	return nil
+	return l.appendSchema(rec.encode(nil))
 }
 
 // AppendTableDDL appends a DropTable/Truncate marker record to the
@@ -518,23 +549,7 @@ func (l *Log) AppendIndexDDL(rec IndexDDLRecord) error {
 // after the creation it refers to and before any later re-creation of
 // the same name.
 func (l *Log) AppendTableDDL(rec TableDDLRecord) error {
-	if err := l.usable(); err != nil {
-		return err
-	}
-	l.schemaMu.Lock()
-	defer l.schemaMu.Unlock()
-	buf := appendFrame(nil, rec.encode(nil))
-	if _, err := l.schema.Write(buf); err != nil {
-		return l.poison(err)
-	}
-	l.bytes.Add(uint64(len(buf)))
-	if l.policy == SyncNone {
-		return nil
-	}
-	if err := l.sync(l.schema); err != nil {
-		return l.poison(err)
-	}
-	return nil
+	return l.appendSchema(rec.encode(nil))
 }
 
 // replayBufSize is the bufio window streaming replay reads through:
@@ -663,7 +678,9 @@ func (l *Log) ReplaySchemaDDL(onTable func(TableRecord) error, onIndex func(Inde
 	if _, err := l.fs.Stat(path); os.IsNotExist(err) {
 		return nil
 	}
-	return l.replayFile(path, false, func(off int64, payload []byte) error {
+	var count uint64
+	err := l.replayFile(path, false, func(off int64, payload []byte) error {
+		count++
 		// CRC passed, so a malformed payload below is real corruption.
 		switch {
 		case isTableDDL(payload):
@@ -686,6 +703,22 @@ func (l *Log) ReplaySchemaDDL(onTable func(TableRecord) error, onIndex func(Inde
 			return onTable(rec)
 		}
 	})
+	if err == nil {
+		l.noteSchemaCount(count)
+	}
+	return err
+}
+
+// noteSchemaCount records that a full schema-log pass observed count
+// records, seeding the append sequence for logs opened over an
+// existing directory (appendSchema advanced the counter for any record
+// appended during the pass, so take the max).
+func (l *Log) noteSchemaCount(count uint64) {
+	l.schemaMu.Lock()
+	if count > l.schemaSeq {
+		l.schemaSeq = count
+	}
+	l.schemaMu.Unlock()
 }
 
 // ReplayCommits streams every durable shard-segment record, shard by

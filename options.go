@@ -58,6 +58,12 @@ type config struct {
 	// Telemetry (0/"" = disabled).
 	slowQueryThreshold time.Duration
 	metricsAddr        string
+
+	// Replication & serving tier ("" = disabled).
+	serveAddr   string
+	replicaOf   string
+	namespace   string
+	maxSessions int // serving: concurrent session cap (0 = default)
 }
 
 // resolveCommitShards turns the configured shard count into the number
@@ -275,6 +281,54 @@ func WithSlowQueryThreshold(d time.Duration) Option {
 			d = 0
 		}
 		c.slowQueryThreshold = d
+	}
+}
+
+// WithServeAddr opens a network serving endpoint on addr (host:0
+// picks a free port — see DB.ServeAddr): remote clients Dial it to run
+// Session transactions against this database, and — when durability is
+// enabled — replicas opened WithReplicaOf stream the write-ahead log
+// from it. The server is private to this DB (namespace "default"; use
+// NewServer + Register to front several databases) and is shut down by
+// DB.Close. Omitted (the default), no listener is opened.
+func WithServeAddr(addr string) Option {
+	return func(c *config) { c.serveAddr = addr }
+}
+
+// WithReplicaOf opens the database as a read replica of the primary
+// serving at addr (a WithServeAddr / NewServer endpoint): Open
+// bootstraps from the primary's schema log and a consistent snapshot,
+// then a background connector applies the primary's WAL record stream
+// continuously through the same idempotent-by-commitTS rules crash
+// recovery uses. The replica serves OLAP reads at bounded, reported
+// staleness (Stats.ReplicaAppliedTS against the primary's commit
+// watermark) and rejects every local write with ErrReplicaRead until
+// DB.Promote. Combine with WithDurability to make the replica's own
+// state crash-recoverable and eligible for warm promotion; combine
+// with WithServeAddr to chain replicas or serve remote read sessions.
+func WithReplicaOf(addr string) Option {
+	return func(c *config) { c.replicaOf = addr }
+}
+
+// WithNamespace sets the tenant namespace this database registers or
+// requests on the wire (default "default"): the namespace a
+// WithServeAddr listener registers itself under, and the one a
+// WithReplicaOf connector asks its primary for.
+func WithNamespace(ns string) Option {
+	return func(c *config) { c.namespace = ns }
+}
+
+// WithServeMaxSessions caps concurrent remote sessions accepted by the
+// WithServeAddr listener (admission control; excess dials are refused
+// with ErrTooManySessions rather than queued). 0 (the default) selects
+// 256. Replica stream connections are not counted — their backpressure
+// is the publisher's bounded per-subscriber buffer.
+func WithServeMaxSessions(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxSessions = n
 	}
 }
 

@@ -1,0 +1,69 @@
+package ankerdb
+
+// Session is the engine surface the serving tier speaks: the subset of
+// *DB that a client needs to run transactions and observe health,
+// satisfied both by an embedded database (*DB) and by a remote
+// connection to one (Dial). Code written against Session runs
+// unchanged in-process, against a served primary, or against a read
+// replica — the deployment choice moves out of the call sites.
+type Session interface {
+	// BeginTxn starts a transaction of the given class. On a read
+	// replica (local or remote), OLTP transactions are refused with
+	// ErrReplicaRead; OLAP snapshots read the replica's applied state.
+	BeginTxn(class TxnClass) (SessionTxn, error)
+
+	// Stats snapshots engine counters — including the replication
+	// fields a caller uses to bound staleness (Stats.ReplicaAppliedTS,
+	// Stats.MaxReplicaLag).
+	Stats() Stats
+
+	// Close releases the session. Closing an embedded *DB session
+	// closes the database itself; closing a remote session only drops
+	// the connection.
+	Close() error
+}
+
+// SessionTxn is one transaction under a Session: the *Txn method set
+// that ships over the wire. *Txn satisfies it verbatim, so an embedded
+// session hands out the engine's own transactions with no wrapping.
+// Point reads and writes address (table, column, row); Lookup and
+// Filter route through secondary indexes exactly like *Txn.
+type SessionTxn interface {
+	Class() TxnClass
+	SnapshotTS() uint64
+
+	Get(tab, col string, row int) (int64, error)
+	GetString(tab, col string, row int) (string, error)
+	Scan(tab, col string) ([]int64, error)
+	Lookup(tab, col string, v int64) ([]int, error)
+	Filter(tab, col string, lo, hi int64) ([]int, error)
+	Aggregate(tab, col string, agg Agg) (int64, error)
+
+	Set(tab, col string, row int, v int64) error
+	SetString(tab, col string, row int, s string) error
+	Insert(tab string, vals map[string]any) (int, error)
+	Delete(tab string, row int) error
+
+	Commit() error
+	Abort() error
+}
+
+// BeginTxn adapts Begin to the Session surface. The indirection exists
+// so *DB's interface value never wraps a typed-nil *Txn: Begin's error
+// path returns a nil *Txn, which BeginTxn maps to a nil interface.
+func (db *DB) BeginTxn(class TxnClass) (SessionTxn, error) {
+	t, err := db.Begin(class)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Compile-time session-surface checks: the embedded engine and the
+// remote client stay interchangeable.
+var (
+	_ Session    = (*DB)(nil)
+	_ Session    = (*RemoteSession)(nil)
+	_ SessionTxn = (*Txn)(nil)
+	_ SessionTxn = (*remoteTxn)(nil)
+)

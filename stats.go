@@ -124,6 +124,35 @@ type Stats struct {
 	CheckpointHist     Hist // checkpoint duration
 	RecoveryReplayHist Hist // Open-time replay (at most one observation)
 	VacuumHist         Hist // vacuum passes (explicit + commit-path)
+
+	// Replication & serving tier (zero without WithServeAddr /
+	// WithReplicaOf). Primary side: connected replica feeds, stream
+	// frames released, subscribers dropped for falling behind, the
+	// published watermark, and the worst replica lag — the primary's
+	// completed commit count beyond the replica's newest acknowledged
+	// applied timestamp. ReplicaLagHist buckets are commit COUNTS (log2),
+	// not nanoseconds, one observation per ack received.
+	Serving            bool
+	ConnectedReplicas  int
+	ReplFramesStreamed uint64
+	ReplSubscriberDrop uint64
+	ReplWatermark      uint64
+	MaxReplicaLag      uint64
+	ReplicaLagHist     Hist
+
+	// Replica side: whether this DB replicates (until Promote), the
+	// connector's health, and the staleness bound — ReplicaAppliedTS is
+	// the newest commit timestamp applied, ReplicaSourceTS the newest
+	// watermark the primary advertised; reads see everything at or below
+	// CompletedCommitTS, which trails ReplicaSourceTS by the apply lag.
+	Replica           bool
+	Promoted          bool
+	ReplicaConnected  bool
+	ReplicaAppliedTS  uint64
+	ReplicaSourceTS   uint64
+	ReplicaFrames     uint64
+	ReplicaReconnects uint64
+	ReplicaBootstraps uint64
 }
 
 // GroupCommitHist is a log2 histogram of commit batch sizes: how many
@@ -186,6 +215,7 @@ func (db *DB) Stats() Stats {
 	checkpointH := tel.checkpoint.Snapshot()
 	recoveryH := tel.recovery.Snapshot()
 	vacuumH := tel.vacuum.Snapshot()
+	replLagH := tel.replLag.Snapshot()
 
 	m := db.snaps
 	// released first: every release is preceded by a create, so loading
@@ -262,6 +292,29 @@ func (db *DB) Stats() Stats {
 	}
 	for _, sh := range db.shards {
 		s.RecentCommitRecords += sh.recent.Len()
+	}
+	if db.pub != nil {
+		s.ReplFramesStreamed = db.pub.Frames()
+		s.ReplSubscriberDrop = db.pub.Drops()
+		s.ReplWatermark = db.pub.Watermark()
+	}
+	if db.srv != nil {
+		s.Serving = true
+	}
+	db.peerMu.Lock()
+	s.ConnectedReplicas = len(db.peers)
+	db.peerMu.Unlock()
+	s.MaxReplicaLag = db.maxReplicaLag()
+	s.ReplicaLagHist = replLagH
+	if r := db.rep; r != nil {
+		s.Replica = !db.promoted.Load()
+		s.Promoted = db.promoted.Load()
+		s.ReplicaConnected = r.connected.Load()
+		s.ReplicaAppliedTS = r.applied.Load()
+		s.ReplicaSourceTS = r.sourceW.Load()
+		s.ReplicaFrames = r.frames.Load()
+		s.ReplicaReconnects = r.reconnects.Load()
+		s.ReplicaBootstraps = r.bootstraps.Load()
 	}
 
 	m.mu.Lock()

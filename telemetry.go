@@ -67,6 +67,12 @@ type dbTelemetry struct {
 	recovery   telemetry.Histogram // Open-time replay (one observation)
 	vacuum     telemetry.Histogram // explicit + commit-path vacuum passes
 
+	// replLag observes, at each replica ack the primary receives, how
+	// many committed timestamps the replica trails by — a COUNT, not a
+	// duration; it rides the duration histogram type for its power-of-
+	// two buckets and is rendered with raw bounds.
+	replLag telemetry.Histogram
+
 	queryIDs atomic.Uint64
 
 	slowThresh time.Duration // WithSlowQueryThreshold; 0 = disabled
@@ -233,12 +239,56 @@ func (db *DB) MetricsText(w io.Writer) error {
 	counter("ankerdb_vacuums_total", "vacuum passes", s.Vacuums)
 	hist("ankerdb_vacuum_seconds", "vacuum pass duration", "", s.VacuumHist)
 
+	// Replication & serving tier. The lag histogram counts COMMITS a
+	// replica trails by (one observation per ack) — rendered by hand
+	// with raw power-of-two bounds, because WriteProm's bounds are
+	// nanosecond-specific.
+	if s.Serving || s.Replica || s.Promoted {
+		gauge("ankerdb_repl_connected_replicas", "replica feeds currently connected", int64(s.ConnectedReplicas))
+		counter("ankerdb_repl_frames_streamed_total", "stream records released to replica feeds", s.ReplFramesStreamed)
+		counter("ankerdb_repl_subscriber_drops_total", "replica feeds dropped for falling behind", s.ReplSubscriberDrop)
+		gauge("ankerdb_repl_watermark", "published completion watermark", int64(s.ReplWatermark))
+		gauge("ankerdb_repl_max_lag_commits", "worst connected-replica lag in committed timestamps", int64(s.MaxReplicaLag))
+		fmt.Fprintf(w, "# HELP ankerdb_repl_lag_commits replica lag per ack, in committed timestamps\n")
+		fmt.Fprintf(w, "# TYPE ankerdb_repl_lag_commits histogram\n")
+		lh := s.ReplicaLagHist
+		var lcum uint64
+		ltop := 0
+		for i, b := range lh.Buckets {
+			if b > 0 {
+				ltop = i
+			}
+		}
+		for i := 0; i <= ltop && i < len(lh.Buckets)-1; i++ {
+			lcum += lh.Buckets[i]
+			fmt.Fprintf(w, "ankerdb_repl_lag_commits_bucket{le=\"%d\"} %d\n", uint64(1)<<uint(i)-1, lcum)
+		}
+		fmt.Fprintf(w, "ankerdb_repl_lag_commits_bucket{le=\"+Inf\"} %d\n", lh.Count)
+		fmt.Fprintf(w, "ankerdb_repl_lag_commits_sum %d\n", lh.SumNanos)
+		fmt.Fprintf(w, "ankerdb_repl_lag_commits_count %d\n", lh.Count)
+		gauge("ankerdb_repl_is_replica", "1 while replicating (0 after Promote)", b2i(s.Replica))
+		gauge("ankerdb_repl_promoted", "1 once promoted to primary", b2i(s.Promoted))
+		gauge("ankerdb_replica_connected", "1 while the connector holds a live stream", b2i(s.ReplicaConnected))
+		gauge("ankerdb_replica_applied_ts", "newest commit timestamp applied from the stream", int64(s.ReplicaAppliedTS))
+		gauge("ankerdb_replica_source_ts", "newest watermark the primary advertised", int64(s.ReplicaSourceTS))
+		counter("ankerdb_replica_frames_total", "stream records applied", s.ReplicaFrames)
+		counter("ankerdb_replica_reconnects_total", "stream reconnections", s.ReplicaReconnects)
+		counter("ankerdb_replica_bootstraps_total", "snapshot bootstraps completed", s.ReplicaBootstraps)
+	}
+
 	// Simulated virtual memory.
 	gauge("ankerdb_mapped_bytes", "virtual size of the simulated process", int64(s.MappedBytes))
 	gauge("ankerdb_vmas", "VMA count (Figure 5a's x-axis)", int64(s.NumVMAs))
 
 	counter("ankerdb_trace_events_total", "flight-recorder events recorded", db.tel.rec.Seq())
 	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // expvar publication: one process-wide "ankerdb" variable mapping each
