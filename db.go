@@ -39,6 +39,16 @@ type DB struct {
 	activ  *mvcc.ActiveSet
 	snaps  *snapManager
 
+	// olapGate serialises snapshot-generation pins against a replica's
+	// in-place re-bootstrap. Every pin (OLAP Begin, Checkpoint, serving
+	// a bootstrap snapshot) holds the read side for the pin's lifetime;
+	// the re-bootstrap holds the write side, draining pinned readers
+	// and blocking new pins while applySnapTable fast-forwards the
+	// arrays (no version-chain pushes) and finishBootstrap resets the
+	// visibility logs — either of which breaks a generation pinned
+	// across it. Uncontended outside replica reconnects.
+	olapGate sync.RWMutex
+
 	// shards partition commit processing by column (see commit.go): the
 	// paper's partially sequential commit phase (Section 5.7) becomes
 	// per-shard, so disjoint-footprint transactions commit in parallel.
@@ -664,6 +674,9 @@ func (db *DB) Begin(class TxnClass) (*Txn, error) {
 	switch class {
 	case OLAP:
 		db.st.olapBegun.Add(1)
+		// Read side of the re-bootstrap gate, held until the pin drops
+		// (Commit/Abort). Blocks only while a replica re-bootstraps.
+		db.olapGate.RLock()
 		gen := db.snaps.acquire()
 		db.tel.rec.Record(telemetry.EvTxnBegin, int64(id), 1, int64(gen.ts))
 		return &Txn{db: db, id: id, class: OLAP, gen: gen}, nil

@@ -86,6 +86,11 @@ func (db *DB) Checkpoint() error {
 	// in the current generation by an earlier OLAP pin could predate a
 	// bulk load, and checkpointing it would persist pre-load data while
 	// the truncation below reclaims the load's (timestamp-less) records.
+	// Read side of the re-bootstrap gate (DB.olapGate): the pinned
+	// generation must not span a replica's in-place re-bootstrap, which
+	// fast-forwards the captured arrays under it.
+	db.olapGate.RLock()
+	defer db.olapGate.RUnlock()
 	g := db.snaps.acquireFresh()
 	defer db.snaps.release(g)
 	// Capture the table list only after the generation's timestamp is

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"ankerdb/internal/wal"
 )
 
 // TestFailoverPromoteZeroLoss is the acceptance scenario: a primary
@@ -153,6 +155,62 @@ func TestFailoverPromotedSurvivesRestart(t *testing.T) {
 		t.Errorf("restarted standalone still thinks it is a replica")
 	}
 	commitWrite(t, nr, "kv", "v", 5, 50)
+}
+
+// TestPromoteSeedsAboveAppliedTableDDL: a DropTable/Truncate marker
+// streams immediately (schema records are not watermark-gated), so a
+// replica can have applied one whose timestamp is ahead of both its
+// applied-commit high-water and its completed watermark. Promote must
+// seed the oracle above the marker anyway: a promoted primary issuing
+// commit timestamps at or below an applied truncate barrier would
+// insert rows the barrier hides from nothing in memory but recovery's
+// truncate replay kills on restart.
+func TestPromoteSeedsAboveAppliedTableDDL(t *testing.T) {
+	p := openPrimary(t, WithInitialSchema(NewSchema("kv").Int64("v").Build(), 8))
+	r := openReplicaOf(t, p.ServeAddr())
+
+	ts := commitWrite(t, p, "kv", "v", 0, 1)
+	waitReplicaTS(t, r, ts)
+	_ = p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().ReplicaConnected {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never noticed the dead primary")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// With the stream dead the connector sits in its redial loop and
+	// never touches the apply path, so the marker frame the primary
+	// would have streamed can be injected directly: a truncate stamped
+	// beyond everything the replica has applied or completed — exactly
+	// the state a marker racing its covering heartbeat leaves behind.
+	markerTS := r.oracle.Completed() + 3
+	payload := (wal.TableDDLRecord{Name: "kv", Op: wal.TableDDLTruncate, TS: markerTS}).Encode()
+	if err := r.rep.applySchema(schemaFrame(r.rep.schemaSeq, payload)); err != nil {
+		t.Fatalf("apply injected truncate marker: %v", err)
+	}
+
+	if err := r.Promote(0); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	tx, err := r.Begin(OLTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tx.Insert("kv", map[string]any{"v": int64(7)})
+	if err != nil {
+		t.Fatalf("post-promotion insert: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("post-promotion commit: %v", err)
+	}
+	if newTS := r.oracle.Completed(); newTS <= markerTS {
+		t.Fatalf("post-promotion commit TS %d at or below applied truncate barrier %d", newTS, markerTS)
+	}
+	if got := olapGet(t, r, "kv", "v", row); got != 7 {
+		t.Fatalf("post-promotion insert reads %d, want 7", got)
+	}
 }
 
 // TestFailoverReplicaOutlivesPrimaryDisconnect: when the primary dies

@@ -33,6 +33,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MsgType tags a frame's body.
@@ -162,6 +163,16 @@ func NewConn(c net.Conn) *Conn {
 // Close closes the underlying connection (buffered writes are not
 // flushed — call Flush first for a graceful close).
 func (c *Conn) Close() error { return c.c.Close() }
+
+// SetDeadline bounds every pending and future read/write; the zero
+// time clears it. Callers use it to bound a bounded exchange (a
+// handshake, a bootstrap frame) so a stalled peer produces an error
+// instead of a hang.
+func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
+// SetReadDeadline bounds every pending and future read; the zero time
+// clears it.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
 
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

@@ -50,12 +50,13 @@ type Record struct {
 // reaches back that far.
 type Publisher struct {
 	mu      sync.Mutex
-	queue   []Record // staged, awaiting watermark release
-	history []Record // released records retained for reconnect resume
+	queue   []Record  // staged, awaiting watermark release
+	history []histRec // released records retained for reconnect resume
 	histCap int
-	// histFloor is the newest commit timestamp evicted from history: a
-	// resume is possible only from AfterTS >= histFloor, because records
-	// in (histFloor-covering prefix) are gone.
+	// histFloor is the highest eviction floor of any record evicted from
+	// history: a resume is possible only from AfterTS >= histFloor,
+	// because a replica further behind may never have received an
+	// evicted record (see histRec.floor).
 	histFloor uint64
 	subs      map[*Subscriber]struct{}
 	closed    bool
@@ -74,6 +75,25 @@ type Publisher struct {
 
 	frames atomic.Uint64 // records released to the stream
 	drops  atomic.Uint64 // subscribers disconnected by overflow
+}
+
+// histRec is one retained history record plus the resume floor its
+// eviction imposes: the smallest AfterTS that still proves a resuming
+// replica received the record. For a commit record that is its own
+// timestamp — an applied watermark at or above it implies the covered
+// record was received and applied. A timestamp-less schema/load record
+// offers no such proof through the applied watermark alone, so its
+// floor is one past the published watermark at release time: only a
+// heartbeat enqueued after the release can carry a higher watermark,
+// and the FIFO stream puts the record before that heartbeat — a
+// replica acking past the floor necessarily received it. Evicting with
+// a floor of just the record's own properties would let Resume replay
+// a suffix missing an evicted schema record, after which the replica
+// silently skips every commit addressing the unknown table while still
+// acking watermarks (silent permanent divergence).
+type histRec struct {
+	rec   Record
+	floor uint64
 }
 
 // defaultHistCap bounds the retained record history (reconnect resume
@@ -149,17 +169,27 @@ func (p *Publisher) drainLocked() {
 // retains it in the resume history.
 func (p *Publisher) emitLocked(rec Record) {
 	p.frames.Add(1)
+	floor := rec.TS
+	if rec.TS == 0 {
+		// Schema/load record: pin the eviction floor one past the
+		// published watermark as of this release (see histRec). The read
+		// deliberately precedes the enclosing drain's recompute: any
+		// heartbeat carrying a watermark above the pre-drain value is
+		// enqueued after this record, which is exactly the ordering the
+		// floor's safety argument needs.
+		floor = p.watermark.Load() + 1
+	}
 	if len(p.history) >= p.histCap {
 		old := p.history[0]
 		// Shift rather than reslice so the backing array is reused and
 		// evicted payloads become collectable.
 		copy(p.history, p.history[1:])
 		p.history = p.history[:len(p.history)-1]
-		if old.TS > p.histFloor {
-			p.histFloor = old.TS
+		if old.floor > p.histFloor {
+			p.histFloor = old.floor
 		}
 	}
-	p.history = append(p.history, rec)
+	p.history = append(p.history, histRec{rec: rec, floor: floor})
 	for s := range p.subs {
 		select {
 		case s.ch <- rec:
@@ -228,9 +258,9 @@ func (p *Publisher) Resume(afterTS uint64, buf int) (*Subscriber, bool) {
 		return nil, false
 	}
 	var replay []Record
-	for _, rec := range p.history {
-		if rec.TS == 0 || rec.TS > afterTS {
-			replay = append(replay, rec)
+	for _, h := range p.history {
+		if h.rec.TS == 0 || h.rec.TS > afterTS {
+			replay = append(replay, h.rec)
 		}
 	}
 	if len(replay) >= buf {

@@ -264,6 +264,38 @@ func TestPublisherResumeRefusedPastHistory(t *testing.T) {
 	}
 }
 
+func TestPublisherResumeRefusedPastEvictedSchema(t *testing.T) {
+	p := NewPublisher(4)
+	// Commits 1..3 release (published watermark 3), then a schema
+	// record: its eviction floor is 4 — only a replica whose applied
+	// watermark moved past 3 provably received it (the heartbeat that
+	// carried the higher watermark was enqueued after the release).
+	for ts := uint64(1); ts <= 3; ts++ {
+		p.Stage(Record{TS: ts, Type: MsgCommit})
+		p.Advance(ts)
+	}
+	p.Stage(Record{TS: 0, Type: MsgSchema, Payload: []byte("create")})
+	// Push the schema record out of the 4-slot history without evicting
+	// any commit at or above TS 4, so the floor raise under test can
+	// only come from the schema record itself.
+	for ts := uint64(4); ts <= 7; ts++ {
+		p.Stage(Record{TS: ts, Type: MsgCommit})
+		p.Advance(ts)
+	}
+	// afterTS 3: the replica applied 1..3 but may have disconnected
+	// before the schema record reached it, and the replayed suffix no
+	// longer contains it — resuming would silently skip every commit
+	// addressing the table it created.
+	if _, ok := p.Resume(3, 64); ok {
+		t.Fatalf("resume allowed across an evicted schema record")
+	}
+	if s, ok := p.Resume(4, 64); !ok {
+		t.Fatalf("resume refused above the schema record's eviction floor")
+	} else {
+		p.Detach(s)
+	}
+}
+
 func TestPublisherClose(t *testing.T) {
 	p := NewPublisher(0)
 	s := p.Attach(4)

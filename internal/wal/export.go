@@ -25,6 +25,10 @@ func DecodeCommitPayload(payload []byte) (CommitRecord, error) {
 // Encode serialises the load record payload.
 func (r LoadRecord) Encode() []byte { return r.encode(nil) }
 
+// Encode serialises the table-DDL marker payload (the bytes
+// AppendTableDDL appends to the schema log).
+func (r TableDDLRecord) Encode() []byte { return r.encode(nil) }
+
 // DecodeLoadPayload decodes a load record payload.
 func DecodeLoadPayload(payload []byte) (LoadRecord, error) {
 	return decodeLoad(payload)

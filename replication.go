@@ -55,6 +55,16 @@ const replHistCap = 1 << 16
 // stall the primary's commit path.
 const replicaSendBuf = 1 << 14
 
+// dialHandshakeTimeout bounds the replica's hello/welcome exchange on
+// a fresh connection.
+const dialHandshakeTimeout = 10 * time.Second
+
+// bootstrapFrameTimeout bounds each bootstrap frame read. Per frame,
+// not overall: a large snapshot legitimately takes long, but a primary
+// that accepts and then stalls must fail the bootstrap — without a
+// deadline a stall during the initial bootstrap hangs Open forever.
+const bootstrapFrameTimeout = 30 * time.Second
+
 // startPublisher wires the WAL append hooks into a record publisher.
 // Called during Open, before the DB is shared, on any serving database
 // with durability enabled.
@@ -158,6 +168,11 @@ func (db *DB) streamBootstrap(c *repl.Conn) error {
 	}); err != nil {
 		return err
 	}
+	// Read side of the re-bootstrap gate: on a replica serving as a
+	// chained primary, the snapshot capture must not span the replica's
+	// own in-place re-bootstrap.
+	db.olapGate.RLock()
+	defer db.olapGate.RUnlock()
 	g := db.snaps.acquireFresh()
 	defer db.snaps.release(g)
 	db.mu.RLock()
@@ -436,6 +451,11 @@ func (r *replicaState) dial(afterTS uint64) (*repl.Conn, repl.Welcome, error) {
 		return nil, repl.Welcome{}, err
 	}
 	c := repl.NewConn(nc)
+	// The handshake is a bounded exchange: deadline it so a primary that
+	// accepts and stalls errors out instead of hanging the caller (Open,
+	// on the initial bootstrap). Cleared on success — the live stream
+	// blocks on reads indefinitely by design.
+	_ = c.SetDeadline(time.Now().Add(dialHandshakeTimeout))
 	if err := c.SendGob(repl.MsgHello, repl.Hello{Role: repl.RoleReplica, Namespace: r.ns, AfterTS: afterTS}); err != nil {
 		_ = c.Close()
 		return nil, repl.Welcome{}, err
@@ -445,6 +465,7 @@ func (r *replicaState) dial(afterTS uint64) (*repl.Conn, repl.Welcome, error) {
 		_ = c.Close()
 		return nil, repl.Welcome{}, err
 	}
+	_ = c.SetDeadline(time.Time{})
 	switch typ {
 	case repl.MsgWelcome:
 		var w repl.Welcome
@@ -473,10 +494,15 @@ func (r *replicaState) dial(afterTS uint64) (*repl.Conn, repl.Welcome, error) {
 
 // runBootstrap consumes a snapshot bootstrap (schema frames, SnapBegin,
 // table bodies, SnapEnd) and finishes it: rebuild the row allocators,
-// zone maps and secondary indexes from the loaded arrays, observe the
-// snapshot timestamp, and — on a durable replica — checkpoint, because
-// the snapshot's data is not in the replica's own WAL.
-func (r *replicaState) runBootstrap(c *repl.Conn, initial bool) error {
+// zone maps and secondary indexes from the loaded arrays, and observe
+// the snapshot timestamp. The caller holds db.olapGate write-side (the
+// rebuild fast-forwards arrays in place under pinned OLAP readers
+// otherwise) and, on a durable replica, checkpoints AFTER the gate is
+// released — the snapshot's data is not in the replica's own WAL, and
+// Checkpoint itself pins a generation under the gate's read side.
+// Frame reads are individually deadlined so a primary that accepts and
+// stalls fails the bootstrap instead of hanging the caller.
+func (r *replicaState) runBootstrap(c *repl.Conn) error {
 	db := r.db
 	var maxWTS uint64
 	noteTS := func(v uint64) {
@@ -487,6 +513,7 @@ func (r *replicaState) runBootstrap(c *repl.Conn, initial bool) error {
 	tables := -1
 	var snapTS uint64
 	for {
+		_ = c.SetReadDeadline(time.Now().Add(bootstrapFrameTimeout))
 		typ, payload, err := c.ReadMsg()
 		if err != nil {
 			return err
@@ -524,14 +551,10 @@ func (r *replicaState) runBootstrap(c *repl.Conn, initial bool) error {
 			}
 			r.bootstraps.Add(1)
 			db.tel.rec.Record(telemetry.EvReplBootstrap, int64(snapTS), int64(seed), 0)
-			if db.wal != nil {
-				// The snapshot bytes never touched the replica's own WAL:
-				// checkpoint now so a restart recovers them. Failure is not
-				// fatal to serving — recovery would just re-bootstrap.
-				if err := db.Checkpoint(); err != nil && initial {
-					return err
-				}
-			}
+			// The live stream blocks on reads indefinitely by design:
+			// clear the per-frame bootstrap deadline before handing the
+			// connection over.
+			_ = c.SetReadDeadline(time.Time{})
 			return nil
 		case repl.MsgErr:
 			var we repl.WireErr
@@ -568,6 +591,13 @@ func (db *DB) finishBootstrap(seed uint64) {
 	}
 	db.unlockAllShards()
 	db.oracle.ObserveCommitted(seed)
+	// Retire the current snapshot generation: across a re-bootstrap the
+	// manager's own pin keeps it alive with its pre-bootstrap timestamp
+	// and column-snapshot cache, and a reader acquiring it afterwards
+	// would see fast-forwarded write timestamps above its ts with no
+	// version-chain entries to repair from. Forcing staleness makes the
+	// next acquire rotate to a generation born after the rebuild.
+	db.snaps.stale.Store(true)
 }
 
 // applySchema applies one sequence-stamped schema frame: skip if the
@@ -609,6 +639,16 @@ func (r *replicaState) applySchema(frame []byte) error {
 		db.applyIndexDDL(*rec.Index)
 	case rec.DDL != nil:
 		db.applyTableDDL(*rec.DDL)
+		// The marker's timestamp is a commit TS the primary issued, and
+		// it can run ahead of both applied commit records and the next
+		// heartbeat (the marker streams immediately). Fold it into the
+		// applied high-water so Promote seeds the oracle above it —
+		// otherwise a promoted replica could issue commit timestamps at
+		// or below an applied truncate barrier, leaving the new rows
+		// invisible to it and recovery's truncate replay to kill them.
+		if ts := rec.DDL.TS; ts > r.applied.Load() {
+			r.applied.Store(ts)
+		}
 	}
 	r.schemaSeq = seq + 1
 	return nil
@@ -989,15 +1029,30 @@ func (r *replicaState) run(c *repl.Conn) {
 			r.reconnects.Add(1)
 			if welcome.Snapshot {
 				// History no longer reaches back: re-bootstrap in place
-				// (fast-forward; see applySnapTable).
+				// (fast-forward; see applySnapTable). Write side of the
+				// OLAP gate: the rebuild overwrites arrays without pushing
+				// displaced values into version chains and resets the
+				// visibility logs, so every pinned generation must drain
+				// first and new OLAP begins block until the state is
+				// consistent again.
 				r.setConn(nc)
-				if berr := r.runBootstrap(nc, false); berr != nil {
+				db.olapGate.Lock()
+				berr := r.runBootstrap(nc)
+				db.olapGate.Unlock()
+				if berr != nil {
 					_ = nc.Close()
 					r.setConn(nil)
 					if r.stopping() {
 						return
 					}
 					continue
+				}
+				if db.wal != nil {
+					// The snapshot bytes never touched the replica's own
+					// WAL: checkpoint so a restart recovers them. Failure
+					// is not fatal to serving — a restart would just
+					// re-bootstrap.
+					_ = db.Checkpoint()
 				}
 			}
 			c = nc
@@ -1192,10 +1247,28 @@ func (db *DB) initReplication(cfg *config) error {
 		}
 		r.setConn(c)
 		if welcome.Snapshot {
-			if err := r.runBootstrap(c, true); err != nil {
+			// The DB is not shared yet, but the auto-checkpointer may
+			// already be running (Open starts it before replication):
+			// hold the OLAP gate so its generation pin cannot span the
+			// in-place fill.
+			db.olapGate.Lock()
+			err := r.runBootstrap(c)
+			db.olapGate.Unlock()
+			if err != nil {
 				_ = c.Close()
 				close(r.done)
 				return err
+			}
+			if db.wal != nil {
+				// The snapshot bytes never touched the replica's own WAL:
+				// checkpoint now so a restart recovers them instead of
+				// re-bootstrapping. Fatal at Open, unlike on reconnect —
+				// the caller asked for a durable replica it does not have.
+				if err := db.Checkpoint(); err != nil {
+					_ = c.Close()
+					close(r.done)
+					return err
+				}
 			}
 		}
 		// The connection is live before the apply loop starts: report

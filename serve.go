@@ -260,28 +260,54 @@ func (s *Server) serveReplica(c *repl.Conn, db *DB, hello repl.Hello) {
 				return
 			}
 			// Drain whatever already queued behind it, then flush once.
-			for drained := false; !drained; {
-				select {
-				case rec, ok := <-sub.C:
-					if !ok {
-						drained = true
-					} else if err := s.writeRecord(c, rec); err != nil {
-						return
-					}
-				default:
-					drained = true
-				}
+			if !s.drainSub(c, sub) {
+				return
 			}
 			if err := c.Flush(); err != nil {
 				return
 			}
 		case <-hb.C:
-			if err := c.WriteGob(repl.MsgHeartbeat, repl.Heartbeat{Watermark: db.pub.Watermark()}); err != nil {
+			// Watermark first, drain second: the published watermark only
+			// covers records already released to this subscriber's buffer,
+			// so once the drain has written them the heartbeat may follow.
+			// Reading the watermark after (or instead of) draining could
+			// announce W while records with TS <= W still sit unread in
+			// sub.C — the replica would ObserveCommitted(W) before applying
+			// them, serving torn snapshots and acking a watermark it never
+			// applied through.
+			w := db.pub.Watermark()
+			if !s.drainSub(c, sub) {
+				return
+			}
+			if err := c.WriteGob(repl.MsgHeartbeat, repl.Heartbeat{Watermark: w}); err != nil {
 				return
 			}
 			if err := c.Flush(); err != nil {
 				return
 			}
+		}
+	}
+}
+
+// drainSub writes every record already buffered in sub.C without
+// blocking (no flush). Returns false when the connection must close: a
+// write failed, or the channel closed (overflow is reported to the
+// peer before returning).
+func (s *Server) drainSub(c *repl.Conn, sub *repl.Subscriber) bool {
+	for {
+		select {
+		case rec, ok := <-sub.C:
+			if !ok {
+				if sub.Lost() {
+					c.SendErr("ankerdb: replica fell behind the stream buffer; reconnect to re-bootstrap")
+				}
+				return false
+			}
+			if err := s.writeRecord(c, rec); err != nil {
+				return false
+			}
+		default:
+			return true
 		}
 	}
 }

@@ -593,6 +593,7 @@ func (t *Txn) Commit() error {
 	t.done = true
 	if t.class == OLAP {
 		t.db.snaps.release(t.gen)
+		t.db.olapGate.RUnlock()
 		t.db.tel.rec.Record(telemetry.EvTxnCommit, int64(t.id), 0, int64(t.gen.ts))
 		return nil
 	}
@@ -632,6 +633,7 @@ func (t *Txn) Abort() error {
 	t.done = true
 	if t.class == OLAP {
 		t.db.snaps.release(t.gen)
+		t.db.olapGate.RUnlock()
 		t.db.tel.rec.Record(telemetry.EvTxnAbort, int64(t.id), telemetry.AbortExplicit, int64(t.gen.ts))
 		return nil
 	}
